@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test race bench report examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Full paper reproduction (150 GB Table I sweep, 100 GB Figure 6 sweep).
+report:
+	go run ./cmd/mpid-report
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/distributedsort
+	go run ./examples/invertedindex
+	go run ./examples/latency
+	go run ./examples/dfsjob
+	go run ./examples/pagerank
+
+clean:
+	go clean ./...

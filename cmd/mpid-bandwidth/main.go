@@ -1,0 +1,32 @@
+// Command mpid-bandwidth regenerates Figure 3: bandwidth achieved moving
+// 128 MB through Hadoop RPC, HTTP-over-Jetty and MPI while sweeping the
+// packet size from 1 B to 64 MB, plus the raw-TCP series the paper lists as
+// future work (§VI(1)).
+//
+// By default it evaluates the calibrated cost models; with -live it
+// measures the real Go substrates on loopback.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ict-repro/mpid/internal/experiments"
+)
+
+func main() {
+	live := flag.Bool("live", false, "measure the real Go substrates on loopback instead of the models")
+	flag.Parse()
+
+	mode := experiments.Model
+	if *live {
+		mode = experiments.Live
+	}
+	rows, err := experiments.Figure3(mode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpid-bandwidth: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(experiments.RenderFigure3(mode, rows))
+}

@@ -1,0 +1,175 @@
+// Command mpid-job runs a MapReduce job over a local text file on either
+// execution engine in this repository:
+//
+//	mpid-job -job wordcount -input corpus.txt            # MPI-D engine
+//	mpid-job -job wordcount -input corpus.txt -engine hadoop
+//	mpid-job -job grep -pattern 'mpi.*d' -input corpus.txt
+//	mpid-job -job sort -input records.txt
+//
+// Jobs:
+//
+//	wordcount  (word, count) over whitespace-separated words
+//	grep       lines matching -pattern, keyed by byte offset
+//	sort       lines sorted lexicographically (range-partitioned)
+//
+// Output goes to stdout as key<TAB>value lines, like Hadoop's text output.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+
+	"github.com/ict-repro/mpid/internal/core"
+	"github.com/ict-repro/mpid/internal/hadoop"
+	"github.com/ict-repro/mpid/internal/kv"
+	"github.com/ict-repro/mpid/internal/mapred"
+)
+
+func main() {
+	jobName := flag.String("job", "wordcount", "job: wordcount, grep or sort")
+	input := flag.String("input", "", "input text file (required)")
+	engine := flag.String("engine", "mpid", "execution engine: mpid or hadoop")
+	pattern := flag.String("pattern", "", "regexp for -job grep")
+	reducers := flag.Int("reducers", 2, "reduce task count")
+	mappers := flag.Int("mappers", runtime.GOMAXPROCS(0), "mapper count (mpid engine) / tasktrackers (hadoop engine)")
+	blockKB := flag.Int("block", 256, "split size in KB")
+	top := flag.Int("top", 0, "print only the first N output pairs (0 = all)")
+	flag.Parse()
+
+	if *input == "" {
+		fatal(fmt.Errorf("-input is required"))
+	}
+	text, err := os.ReadFile(*input)
+	if err != nil {
+		fatal(err)
+	}
+
+	job, err := buildJob(*jobName, *pattern, *reducers)
+	if err != nil {
+		fatal(err)
+	}
+	splits := mapred.SplitText(text, *blockKB<<10)
+
+	var result *mapred.Result
+	switch *engine {
+	case "mpid":
+		result, err = mapred.Run(job, splits, *mappers)
+	case "hadoop":
+		result, err = hadoop.Run(job, splits, hadoop.Config{NumTrackers: *mappers})
+	default:
+		err = fmt.Errorf("unknown engine %q (want mpid or hadoop)", *engine)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	pairs := result.Pairs()
+	fmt.Fprintf(os.Stderr, "mpid-job: %s on %s engine: %d splits, %d output pairs\n",
+		*jobName, *engine, len(splits), len(pairs))
+	for i, p := range pairs {
+		if *top > 0 && i == *top {
+			break
+		}
+		if *jobName == "wordcount" {
+			n, _, err := kv.ReadVLong(p.Value)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s\t%d\n", p.Key, n)
+			continue
+		}
+		fmt.Printf("%s\t%s\n", p.Key, p.Value)
+	}
+}
+
+// buildJob assembles the requested job.
+func buildJob(name, pattern string, reducers int) (mapred.Job, error) {
+	switch name {
+	case "wordcount":
+		reducer := mapred.ReducerFunc(func(key []byte, values [][]byte, emit mapred.Emit) error {
+			var total int64
+			for _, v := range values {
+				n, _, err := kv.ReadVLong(v)
+				if err != nil {
+					return err
+				}
+				total += n
+			}
+			return emit(key, kv.AppendVLong(nil, total))
+		})
+		return mapred.Job{
+			Name: name,
+			Mapper: mapred.MapperFunc(func(_, line []byte, emit mapred.Emit) error {
+				for _, w := range bytes.Fields(line) {
+					if err := emit(w, kv.AppendVLong(nil, 1)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}),
+			Reducer:     reducer,
+			Combiner:    mapred.CombinerFromReducer(reducer),
+			NumReducers: reducers,
+		}, nil
+
+	case "grep":
+		if pattern == "" {
+			return mapred.Job{}, fmt.Errorf("-job grep needs -pattern")
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return mapred.Job{}, fmt.Errorf("bad -pattern: %w", err)
+		}
+		return mapred.Job{
+			Name: name,
+			Mapper: mapred.MapperFunc(func(offset, line []byte, emit mapred.Emit) error {
+				if re.Match(line) {
+					off, _, err := kv.ReadVLong(offset)
+					if err != nil {
+						return err
+					}
+					return emit([]byte(fmt.Sprintf("%012d", off)), line)
+				}
+				return nil
+			}),
+			Reducer: mapred.ReducerFunc(func(key []byte, values [][]byte, emit mapred.Emit) error {
+				for _, v := range values {
+					if err := emit(key, v); err != nil {
+						return err
+					}
+				}
+				return nil
+			}),
+			NumReducers: reducers,
+		}, nil
+
+	case "sort":
+		identity := mapred.ReducerFunc(func(key []byte, values [][]byte, emit mapred.Emit) error {
+			for _, v := range values {
+				if err := emit(key, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		return mapred.Job{
+			Name: name,
+			Mapper: mapred.MapperFunc(func(_, line []byte, emit mapred.Emit) error {
+				return emit(line, nil)
+			}),
+			Reducer:     identity,
+			Partitioner: core.FirstByteRangePartitioner,
+			NumReducers: reducers,
+		}, nil
+	}
+	return mapred.Job{}, fmt.Errorf("unknown job %q (want wordcount, grep or sort)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mpid-job: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command mpid-report runs every experiment in the paper's evaluation —
+// Figure 1, Table I, Figure 2 (a, b, c), Figure 3 and Figure 6 — and
+// prints one consolidated report with the paper's published values beside
+// each measurement. EXPERIMENTS.md is produced from this output.
+//
+// -quick caps the cluster-scale experiments at small inputs for a fast
+// smoke run; the default reproduces the full paper scale (150 GB Table I
+// rows, 100 GB Figure 6 sweep) and takes a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ict-repro/mpid/internal/experiments"
+	"github.com/ict-repro/mpid/internal/netmodel"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "small-input smoke run")
+	live := flag.Bool("live", false, "also measure the real substrates on loopback")
+	flag.Parse()
+
+	fig1GB, table1Max, fig6Max := int64(150), int64(150), int64(100)
+	if *quick {
+		fig1GB, table1Max, fig6Max = 4, 9, 10
+	}
+
+	start := time.Now()
+	fmt.Printf("mpid-report: reproducing the evaluation of \"Can MPI Benefit Hadoop and MapReduce Applications?\" (ICPP 2011)\n\n")
+
+	for _, panel := range []experiments.SizeRange{experiments.Small, experiments.Medium, experiments.Large} {
+		rows, err := experiments.Figure2(panel, experiments.Model)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFigure2(panel, experiments.Model, rows))
+	}
+
+	rows3, err := experiments.Figure3(experiments.Model)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.RenderFigure3(experiments.Model, rows3))
+
+	if *live {
+		for _, panel := range []experiments.SizeRange{experiments.Small, experiments.Medium} {
+			rows, err := experiments.Figure2(panel, experiments.Live)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderFigure2(panel, experiments.Live, rows))
+		}
+		rowsL, err := experiments.Figure3(experiments.Live)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFigure3(experiments.Live, rowsL))
+	}
+
+	fmt.Println(experiments.RenderFigure1(experiments.Figure1(fig1GB * netmodel.GB)))
+	fmt.Println(experiments.RenderTable1(experiments.Table1(table1Max)))
+	fmt.Println(experiments.RenderFigure6(experiments.Figure6(fig6Max)))
+	fmt.Println(experiments.RenderInterconnects(experiments.ExtensionInterconnects(fig6Max)))
+
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mpid-report: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,40 @@
+// Command mpid-shuffle regenerates the paper's §II.A shuffle-overhead
+// study on the Hadoop simulator:
+//
+//	-fig1    Figure 1: per-reducer copy/sort/reduce time distribution for
+//	         the JavaSort benchmark (default 150 GB, 8/8 slots, 2345
+//	         reduce tasks).
+//	-table1  Table I: copy-stage share of total task time across input
+//	         sizes {1,3,9,27,81,150} GB and slot configs {4/2,4/4,8/8,16/16}.
+//
+// Both run by default. -max caps the Table I sweep and -size sets the
+// Figure 1 input, so quick runs are possible on small machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/ict-repro/mpid/internal/experiments"
+	"github.com/ict-repro/mpid/internal/netmodel"
+)
+
+func main() {
+	fig1 := flag.Bool("fig1", false, "run only Figure 1")
+	table1 := flag.Bool("table1", false, "run only Table I")
+	sizeGB := flag.Int64("size", 150, "Figure 1 input size in GB")
+	maxGB := flag.Int64("max", 150, "largest Table I input size in GB")
+	flag.Parse()
+
+	runFig1 := *fig1 || !*table1
+	runTable1 := *table1 || !*fig1
+
+	if runFig1 {
+		r := experiments.Figure1(*sizeGB * netmodel.GB)
+		fmt.Println(experiments.RenderFigure1(r))
+	}
+	if runTable1 {
+		cells := experiments.Table1(*maxGB)
+		fmt.Println(experiments.RenderTable1(cells))
+	}
+}

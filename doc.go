@@ -1,0 +1,12 @@
+// Package mpid is a from-scratch Go reproduction of "Can MPI Benefit
+// Hadoop and MapReduce Applications?" (Lu, Wang, Zha, Xu — ICPP 2011): the
+// MPI-D key-value extension to MPI, the substrates it is measured against
+// (Hadoop RPC, HTTP-over-Jetty, a mini-HDFS), a MapReduce framework over
+// MPI-D, and a calibrated discrete-event simulation stack that regenerates
+// every table and figure of the paper's evaluation.
+//
+// Start with README.md for the library tour, DESIGN.md for the system
+// inventory and substitutions, and EXPERIMENTS.md for paper-vs-measured
+// results. The implementation lives under internal/ (one package per
+// subsystem); runnable entry points are under cmd/ and examples/.
+package mpid

@@ -1,0 +1,95 @@
+// Latency: the paper's §II.B methodology run live on this machine — a
+// ping-pong between two ranks of the internal/mpi runtime over real TCP
+// sockets and a Hadoop RPC echo client/server, timed exactly as the paper
+// does (ping-pong divided by two, first iterations dropped).
+//
+//	go run ./examples/latency
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/ict-repro/mpid/internal/hadooprpc"
+	"github.com/ict-repro/mpid/internal/mpi"
+)
+
+const (
+	warmup = 5
+	reps   = 100 // the paper averages 100 tests
+)
+
+func main() {
+	sizes := []int64{1, 16, 256, 1 << 10, 16 << 10, 256 << 10, 1 << 20}
+
+	// MPI over TCP: rank 1 echoes, rank 0 measures.
+	world, err := mpi.NewTCPWorld(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer world.Close()
+	go func() {
+		c1 := world.Comm(1)
+		for {
+			data, st, err := c1.Recv(0, mpi.AnyTag)
+			if err != nil || st.Tag == 1 {
+				return
+			}
+			if err := c1.Send(0, 0, data); err != nil {
+				return
+			}
+		}
+	}()
+	c0 := world.Comm(0)
+
+	// Hadoop RPC echo.
+	srv := hadooprpc.NewServer()
+	srv.Register(hadooprpc.NewEchoProtocol())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := hadooprpc.Dial(addr, hadooprpc.EchoProtocolName, hadooprpc.EchoProtocolVersion)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	fmt.Printf("%-10s %14s %14s %8s\n", "size", "MPI (1-way)", "RPC (1-way)", "ratio")
+	for _, size := range sizes {
+		payload := make([]byte, size)
+
+		var mpiTotal time.Duration
+		for i := 0; i < reps+warmup; i++ {
+			start := time.Now()
+			if err := c0.Send(1, 0, payload); err != nil {
+				log.Fatal(err)
+			}
+			if _, _, err := c0.Recv(1, 0); err != nil {
+				log.Fatal(err)
+			}
+			if i >= warmup {
+				mpiTotal += time.Since(start)
+			}
+		}
+		mpiLat := mpiTotal / time.Duration(2*reps)
+
+		var rpcTotal time.Duration
+		for i := 0; i < reps+warmup; i++ {
+			start := time.Now()
+			if _, err := cli.Call("recv", payload); err != nil {
+				log.Fatal(err)
+			}
+			if i >= warmup {
+				rpcTotal += time.Since(start)
+			}
+		}
+		rpcLat := rpcTotal / time.Duration(2*reps)
+
+		fmt.Printf("%-10d %14v %14v %7.2fx\n", size, mpiLat, rpcLat,
+			float64(rpcLat)/float64(mpiLat))
+	}
+	c0.Send(1, 1, nil) // stop the echo rank
+}

@@ -1,0 +1,3 @@
+module github.com/ict-repro/mpid
+
+go 1.22

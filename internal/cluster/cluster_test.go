@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ict-repro/mpid/internal/des"
+)
+
+func TestDefaultMatchesPaperTestbed(t *testing.T) {
+	cfg := Default()
+	if cfg.Nodes != 8 {
+		t.Errorf("Nodes = %d, want 8", cfg.Nodes)
+	}
+	if cfg.CoresPerNode != 8 {
+		t.Errorf("CoresPerNode = %d, want 8 (2x quad-core)", cfg.CoresPerNode)
+	}
+	if cfg.NICBandwidth < 100e6 || cfg.NICBandwidth > 125e6 {
+		t.Errorf("NICBandwidth = %g, want GigE-class", cfg.NICBandwidth)
+	}
+}
+
+func TestComputeOccupiesCore(t *testing.T) {
+	eng := des.New()
+	c := New(eng, Config{Nodes: 1, CoresPerNode: 2, DiskReadBW: 1, DiskWriteBW: 1, NICBandwidth: 1})
+	n := c.Nodes[0]
+	var ends []des.Time
+	// 4 jobs of 1s on 2 cores: finish at 1s,1s,2s,2s.
+	for i := 0; i < 4; i++ {
+		eng.Go("job", func(p *des.Proc) {
+			n.Compute(p, 100, 100) // 1 second
+			ends = append(ends, p.Now())
+		})
+	}
+	eng.Run()
+	if ends[0] != time.Second || ends[3] != 2*time.Second {
+		t.Fatalf("ends = %v", ends)
+	}
+}
+
+func TestComputeZeroWorkReturnsImmediately(t *testing.T) {
+	eng := des.New()
+	c := New(eng, Config{Nodes: 1, CoresPerNode: 1, DiskReadBW: 1, DiskWriteBW: 1, NICBandwidth: 1})
+	eng.Go("job", func(p *des.Proc) {
+		c.Nodes[0].Compute(p, 0, 100)
+		c.Nodes[0].Compute(p, 100, 0)
+		if p.Now() != 0 {
+			t.Errorf("zero work advanced clock to %v", p.Now())
+		}
+	})
+	eng.Run()
+}
+
+func TestTransferHoldsBothEnds(t *testing.T) {
+	cfg := Config{Nodes: 3, CoresPerNode: 1, DiskReadBW: 1e6, DiskWriteBW: 1e6,
+		NICBandwidth: 100, NetLatency: 0}
+	eng := des.New()
+	c := New(eng, cfg)
+	var abEnd, cbEnd des.Time
+	// Two senders (A and C) into one receiver B: B's in-link is the
+	// bottleneck, so both 500 B transfers take ~10 s, not 5 s.
+	eng.Go("a->b", func(p *des.Proc) {
+		c.Transfer(p, c.Nodes[0], c.Nodes[1], 500)
+		abEnd = p.Now()
+	})
+	eng.Go("c->b", func(p *des.Proc) {
+		c.Transfer(p, c.Nodes[2], c.Nodes[1], 500)
+		cbEnd = p.Now()
+	})
+	eng.Run()
+	if abEnd != 10*time.Second || cbEnd != 10*time.Second {
+		t.Fatalf("transfers ended at %v and %v, want 10s each", abEnd, cbEnd)
+	}
+}
+
+func TestTransferLatencyApplied(t *testing.T) {
+	cfg := Config{Nodes: 2, CoresPerNode: 1, DiskReadBW: 1e6, DiskWriteBW: 1e6,
+		NICBandwidth: 1000, NetLatency: 3 * time.Second}
+	eng := des.New()
+	c := New(eng, cfg)
+	var end des.Time
+	eng.Go("tx", func(p *des.Proc) {
+		c.Transfer(p, c.Nodes[0], c.Nodes[1], 1000) // 1s wire + 3s latency
+		end = p.Now()
+	})
+	eng.Run()
+	if end != 4*time.Second {
+		t.Fatalf("end = %v, want 4s", end)
+	}
+}
+
+func TestLocalTransferIsFree(t *testing.T) {
+	eng := des.New()
+	c := New(eng, Default())
+	eng.Go("tx", func(p *des.Proc) {
+		c.Transfer(p, c.Nodes[0], c.Nodes[0], 1<<30)
+		if p.Now() != 0 {
+			t.Errorf("local transfer took %v", p.Now())
+		}
+	})
+	eng.Run()
+}
+
+func TestSeekEquivalentBytes(t *testing.T) {
+	cfg := Default()
+	eng := des.New()
+	c := New(eng, cfg)
+	n := c.Nodes[0]
+	// One seek ~ 8ms at 90 MB/s ~ 720 KB.
+	one := n.SeekEquivalentBytes(1)
+	if one < 500_000 || one > 1_000_000 {
+		t.Errorf("seek equivalent = %d bytes", one)
+	}
+	if n.SeekEquivalentBytes(10) != 10*one {
+		t.Error("seek equivalent not linear")
+	}
+	if n.SeekEquivalentBytes(0) != 0 || n.SeekEquivalentBytes(-1) != 0 {
+		t.Error("non-positive accesses should cost nothing")
+	}
+}
+
+func TestRandomReadSlowerThanStream(t *testing.T) {
+	eng := des.New()
+	c := New(eng, Default())
+	n := c.Nodes[0]
+	var streamEnd, randomEnd des.Time
+	eng.Go("stream", func(p *des.Proc) {
+		n.ReadStream(p, 64<<20)
+		streamEnd = p.Now()
+	})
+	eng.Run()
+	eng2 := des.New()
+	c2 := New(eng2, Default())
+	n2 := c2.Nodes[0]
+	eng2.Go("random", func(p *des.Proc) {
+		n2.ReadRandom(p, 64<<20, 2000) // 2000 seeks
+		randomEnd = p.Now()
+	})
+	eng2.Run()
+	if randomEnd < 2*streamEnd {
+		t.Errorf("random read %v not much slower than stream %v", randomEnd, streamEnd)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(des.New(), Config{Nodes: 0})
+}

@@ -1,0 +1,32 @@
+package core
+
+import "github.com/ict-repro/mpid/internal/kv"
+
+// Paper-style aliases. Table II of the paper defines the extension as
+//
+//	void MPI_D_Send(S_KEY_TYPE key, S_VALUE_TYPE value);
+//	void MPI_D_Recv(R_KEY_TYPE key, R_VALUE_TYPE value);
+//
+// plus MPI_D_Init and MPI_D_Finalize. Go code should use the idiomatic
+// methods (Init, D.Send, D.Recv, D.Finalize); these wrappers exist so code
+// transliterated from the paper's examples (Figure 5) reads one-to-one.
+
+// MPI_D_Init is Init under the paper's name.
+//
+//nolint:revive // underscore name mirrors the paper's interface
+func MPI_D_Init(cfg Config) (*D, error) { return Init(cfg) }
+
+// MPI_D_Send is D.Send under the paper's name.
+//
+//nolint:revive
+func MPI_D_Send(d *D, key, value []byte) error { return d.Send(key, value) }
+
+// MPI_D_Recv is D.Recv under the paper's name.
+//
+//nolint:revive
+func MPI_D_Recv(d *D) (kv.KeyList, error) { return d.RecvKeyList() }
+
+// MPI_D_Finalize is D.Finalize under the paper's name.
+//
+//nolint:revive
+func MPI_D_Finalize(d *D) error { return d.Finalize() }

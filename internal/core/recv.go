@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/ict-repro/mpid/internal/kv"
+	"github.com/ict-repro/mpid/internal/mpi"
+)
+
+// receiver is the reducer-side state behind Recv: wildcard reception,
+// reverse realignment and (in grouped mode) the cross-mapper merge.
+type receiver struct {
+	d *D
+
+	// sendersLeft counts senders that have not yet sent DoneTag.
+	sendersLeft int
+
+	// Streaming mode: fragments decoded from the current message, served
+	// in order.
+	fragments []kv.KeyList
+
+	// Grouped mode: accumulated merge table, then a sorted drain.
+	groups   map[string][][]byte
+	order    []string
+	drained  bool
+	drainPos int
+}
+
+func newReceiver(d *D) *receiver {
+	return &receiver{
+		d:           d,
+		sendersLeft: len(d.cfg.Senders),
+		groups:      make(map[string][][]byte),
+	}
+}
+
+// Recv returns the next key with its value list — MPI_D_Recv. Reducers call
+// it in a loop; io.EOF signals that every sender finalized and all data was
+// delivered.
+//
+// In the default grouped mode each key is returned exactly once with all
+// its values merged across mappers, keys in lexicographic order. In
+// Streaming mode fragments are returned in arrival order as each message is
+// reverse-realigned, so a key may appear once per sending spill.
+func (d *D) Recv() ([]byte, [][]byte, error) {
+	if !d.isReducer {
+		return nil, nil, fmt.Errorf("mpid: rank %d is not a reducer", d.comm.Rank())
+	}
+	if d.cfg.Streaming {
+		return d.recvState.nextStreaming()
+	}
+	return d.recvState.nextGrouped()
+}
+
+// RecvKeyList is Recv returning a kv.KeyList.
+func (d *D) RecvKeyList() (kv.KeyList, error) {
+	k, vs, err := d.Recv()
+	return kv.KeyList{Key: k, Values: vs}, err
+}
+
+// receiveMessage blocks for the next MPI-D message in the wildcard
+// reception style of §IV.A. It returns false when end-of-stream is reached
+// (all senders done).
+func (r *receiver) receiveMessage() (data []byte, more bool, err error) {
+	for r.sendersLeft > 0 {
+		// Wildcard: "each reducer adopts the MPI_Recv primitive in the
+		// wildcard reception style to receive messages from any source."
+		payload, st, err := r.d.comm.Recv(mpi.AnySource, mpi.AnyTag)
+		if err != nil {
+			return nil, false, err
+		}
+		switch st.Tag {
+		case DataTag:
+			return payload, true, nil
+		case DoneTag:
+			r.sendersLeft--
+		default:
+			return nil, false, fmt.Errorf("mpid: unexpected tag %d from rank %d", st.Tag, st.Source)
+		}
+	}
+	return nil, false, nil
+}
+
+// decode reverse-realigns one contiguous partition buffer back into
+// key/value-list fragments ("the sequential data stream will be
+// re-constructed as key-value pairs").
+func (r *receiver) decode(data []byte) ([]kv.KeyList, error) {
+	var out []kv.KeyList
+	for len(data) > 0 {
+		klist, n, err := kv.ReadKeyList(data)
+		if err != nil {
+			return nil, fmt.Errorf("mpid: corrupt partition buffer: %w", err)
+		}
+		out = append(out, klist)
+		r.d.counters.PairsReceived += int64(len(klist.Values))
+		data = data[n:]
+	}
+	return out, nil
+}
+
+// nextStreaming yields fragments in arrival order.
+func (r *receiver) nextStreaming() ([]byte, [][]byte, error) {
+	for len(r.fragments) == 0 {
+		data, more, err := r.receiveMessage()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !more {
+			return nil, nil, io.EOF
+		}
+		r.fragments, err = r.decode(data)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	f := r.fragments[0]
+	r.fragments = r.fragments[1:]
+	return f.Key, f.Values, nil
+}
+
+// nextGrouped merges everything first, then drains keys in sorted order.
+func (r *receiver) nextGrouped() ([]byte, [][]byte, error) {
+	if !r.drained {
+		for {
+			data, more, err := r.receiveMessage()
+			if err != nil {
+				return nil, nil, err
+			}
+			if !more {
+				break
+			}
+			frags, err := r.decode(data)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, f := range frags {
+				k := string(f.Key)
+				if _, seen := r.groups[k]; !seen {
+					r.order = append(r.order, k)
+				}
+				r.groups[k] = append(r.groups[k], f.Values...)
+			}
+		}
+		sort.Strings(r.order)
+		r.drained = true
+	}
+	if r.drainPos >= len(r.order) {
+		return nil, nil, io.EOF
+	}
+	k := r.order[r.drainPos]
+	r.drainPos++
+	values := r.groups[k]
+	delete(r.groups, k) // release as we stream out
+	return []byte(k), values, nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ict-repro/mpid/internal/kv"
+	"github.com/ict-repro/mpid/internal/mpi"
+)
+
+// hashBuffer is the mapper-side hash table of §IV.A: Send buffers pairs
+// here, grouped by key, so the combiner can merge values locally before
+// anything is serialized or transmitted.
+type hashBuffer struct {
+	groups map[string][][]byte // key -> value list (insertion grouped)
+	keys   []string            // insertion order, for deterministic spills
+	bytes  int                 // payload bytes buffered
+}
+
+func newHashBuffer() *hashBuffer {
+	return &hashBuffer{groups: make(map[string][][]byte)}
+}
+
+// combineEvery bounds a key's in-buffer value list: once it reaches this
+// length the combiner folds it down. This keeps hot keys from growing
+// unbounded slices between spills — the paper puts local combination inside
+// the MPI_D_Send routine, and doing it incrementally is what makes that
+// cheap ("the aim of combining is to reduce the memory consuming").
+const combineEvery = 256
+
+// add buffers one pair; it returns how many pairs the incremental combiner
+// eliminated (0 without a combiner).
+func (b *hashBuffer) add(key, value []byte, combine CombineFunc) int64 {
+	k := string(key)
+	vs, ok := b.groups[k]
+	if !ok {
+		b.keys = append(b.keys, k)
+		b.bytes += len(key)
+	}
+	// Values are copied: Send promises the caller its buffers are free to
+	// reuse on return, which the examples rely on when scanning input.
+	vs = append(vs, append([]byte(nil), value...))
+	b.bytes += len(value)
+	var combined int64
+	if combine != nil && len(vs) >= combineEvery {
+		oldLen, oldBytes := len(vs), 0
+		for _, v := range vs {
+			oldBytes += len(v)
+		}
+		vs = combine([]byte(k), vs)
+		newBytes := 0
+		for _, v := range vs {
+			newBytes += len(v)
+		}
+		b.bytes += newBytes - oldBytes
+		combined = int64(oldLen - len(vs))
+	}
+	b.groups[k] = vs
+	return combined
+}
+
+func (b *hashBuffer) reset() {
+	b.groups = make(map[string][][]byte)
+	b.keys = b.keys[:0]
+	b.bytes = 0
+}
+
+// Send buffers one key-value pair for delivery to the reducer owning its
+// partition — MPI_D_Send. It returns quickly: at worst it triggers a spill
+// of the buffered table. The caller keeps ownership of key and value.
+func (d *D) Send(key, value []byte) error {
+	if d.finalized {
+		return ErrFinalized
+	}
+	if !d.isSender {
+		return fmt.Errorf("mpid: rank %d is not a sender", d.comm.Rank())
+	}
+	if !d.sendOpen {
+		return errors.New("mpid: send side already closed")
+	}
+	d.counters.PairsCombined += d.buf.add(key, value, d.cfg.Combiner)
+	d.counters.PairsSent++
+	if d.buf.bytes >= d.cfg.SpillThreshold {
+		return d.spill()
+	}
+	return nil
+}
+
+// SendPair is Send for a kv.Pair.
+func (d *D) SendPair(p kv.Pair) error { return d.Send(p.Key, p.Value) }
+
+// spill drains the hash table: combine, partition, realign, transmit. This
+// is the heart of MPI-D — it converts the discrete, variable-size key-value
+// world into the contiguous fixed-layout buffers MPI moves efficiently.
+func (d *D) spill() error {
+	if d.buf.bytes == 0 && len(d.buf.keys) == 0 {
+		return nil
+	}
+	d.counters.Spills++
+
+	// In Async mode, complete the previous spill's sends first so at most
+	// one spill is in flight — bounded memory, still overlapped.
+	if err := d.completePending(); err != nil {
+		return err
+	}
+
+	nParts := d.numPartitions()
+	// Realignment: serialize each key's (possibly combined) value list
+	// into its partition's contiguous buffer, in insertion order for
+	// determinism.
+	parts := make([][]byte, nParts)
+	for _, k := range d.buf.keys {
+		key := []byte(k)
+		values := d.buf.groups[k]
+		if d.cfg.Combiner != nil {
+			before := len(values)
+			values = d.cfg.Combiner(key, values)
+			d.counters.PairsCombined += int64(before - len(values))
+		}
+		if d.cfg.SortValues {
+			sortValueList(values)
+		}
+		p := d.cfg.Partitioner(key, nParts)
+		if p < 0 || p >= nParts {
+			return fmt.Errorf("mpid: partitioner returned %d for %d partitions", p, nParts)
+		}
+		parts[p] = kv.AppendKeyList(parts[p], kv.KeyList{Key: key, Values: values})
+	}
+	d.buf.reset()
+
+	for p, data := range parts {
+		if len(data) == 0 {
+			continue
+		}
+		dst := d.partitionOwner(p)
+		d.counters.MessagesSent++
+		d.counters.BytesSent += int64(len(data))
+		if d.cfg.Async {
+			d.pending = append(d.pending, d.comm.Isend(dst, DataTag, data))
+			continue
+		}
+		if err := d.comm.Send(dst, DataTag, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush forces a spill of whatever is buffered, without closing the stream.
+func (d *D) Flush() error {
+	if d.finalized {
+		return ErrFinalized
+	}
+	if !d.isSender {
+		return nil
+	}
+	return d.spill()
+}
+
+// completePending waits for outstanding Isends (Async mode).
+func (d *D) completePending() error {
+	if len(d.pending) == 0 {
+		return nil
+	}
+	err := mpi.WaitAll(d.pending...)
+	d.pending = d.pending[:0]
+	return err
+}

@@ -1,0 +1,400 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestCluster(t *testing.T, nodes int, blockSize int64, repl int) *NameNode {
+	t.Helper()
+	nn, err := NewCluster(nodes, Config{BlockSize: blockSize, Replication: repl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nn
+}
+
+func writeFile(t *testing.T, nn *NameNode, path string, data []byte) {
+	t.Helper()
+	w, err := nn.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readFile(t *testing.T, nn *NameNode, path string) []byte {
+	t.Helper()
+	r, err := nn.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	nn := newTestCluster(t, 4, 1024, 2)
+	payload := bytes.Repeat([]byte("hadoop+mpi "), 500) // ~5.5 blocks
+	writeFile(t, nn, "/data/input.txt", payload)
+	got := readFile(t, nn, "/data/input.txt")
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip corrupted: %d vs %d bytes", len(got), len(payload))
+	}
+}
+
+func TestBlockGeometry(t *testing.T) {
+	nn := newTestCluster(t, 3, 100, 2)
+	writeFile(t, nn, "/f", make([]byte, 250)) // 100+100+50
+	info, err := nn.Stat("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 250 || info.Blocks != 3 {
+		t.Fatalf("Stat = %+v", info)
+	}
+	blocks, err := nn.Blocks("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks[0].Size != 100 || blocks[2].Size != 50 {
+		t.Fatalf("block sizes: %d, %d, %d", blocks[0].Size, blocks[1].Size, blocks[2].Size)
+	}
+	for i, b := range blocks {
+		if b.ID.Index != i || b.ID.Path != "/f" {
+			t.Fatalf("block %d id = %v", i, b.ID)
+		}
+		if len(b.Locations) != 2 {
+			t.Fatalf("block %d has %d replicas, want 2", i, len(b.Locations))
+		}
+		if b.Locations[0] == b.Locations[1] {
+			t.Fatalf("block %d replicas on same node", i)
+		}
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	nn := newTestCluster(t, 2, 100, 1)
+	writeFile(t, nn, "/empty", nil)
+	if got := readFile(t, nn, "/empty"); len(got) != 0 {
+		t.Fatalf("empty file read %d bytes", len(got))
+	}
+	info, _ := nn.Stat("/empty")
+	if info.Blocks != 0 {
+		t.Fatalf("empty file has %d blocks", info.Blocks)
+	}
+}
+
+func TestReplicationClampedToClusterSize(t *testing.T) {
+	nn := newTestCluster(t, 2, 100, 5)
+	if nn.Config().Replication != 2 {
+		t.Fatalf("replication = %d, want clamp to 2", nn.Config().Replication)
+	}
+}
+
+func TestPlacementSpreadsAcrossNodes(t *testing.T) {
+	nn := newTestCluster(t, 4, 10, 1)
+	writeFile(t, nn, "/spread", make([]byte, 400)) // 40 blocks
+	counts := make(map[int]int)
+	blocks, _ := nn.Blocks("/spread")
+	for _, b := range blocks {
+		counts[b.Locations[0]]++
+	}
+	for node := 0; node < 4; node++ {
+		if counts[node] < 5 {
+			t.Errorf("node %d holds only %d/40 primaries: %v", node, counts[node], counts)
+		}
+	}
+}
+
+func TestCreateExistingFails(t *testing.T) {
+	nn := newTestCluster(t, 2, 100, 1)
+	writeFile(t, nn, "/dup", []byte("x"))
+	if _, err := nn.Create("/dup"); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v, want ErrExists", err)
+	}
+}
+
+func TestOpenMissingFails(t *testing.T) {
+	nn := newTestCluster(t, 2, 100, 1)
+	if _, err := nn.Open("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := nn.Stat("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stat err = %v", err)
+	}
+}
+
+func TestDeleteRemovesReplicas(t *testing.T) {
+	nn := newTestCluster(t, 3, 100, 3)
+	writeFile(t, nn, "/gone", make([]byte, 300))
+	before := 0
+	for i := 0; i < 3; i++ {
+		before += nn.DataNode(i).BlockCount()
+	}
+	if before != 9 { // 3 blocks x 3 replicas
+		t.Fatalf("replicas before delete = %d, want 9", before)
+	}
+	if err := nn.Delete("/gone"); err != nil {
+		t.Fatal(err)
+	}
+	after := 0
+	for i := 0; i < 3; i++ {
+		after += nn.DataNode(i).BlockCount()
+	}
+	if after != 0 {
+		t.Fatalf("replicas after delete = %d", after)
+	}
+	if err := nn.Delete("/gone"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	nn := newTestCluster(t, 2, 100, 1)
+	for _, p := range []string{"/c", "/a", "/b"} {
+		writeFile(t, nn, p, []byte("x"))
+	}
+	got := nn.List()
+	if fmt.Sprint(got) != "[/a /b /c]" {
+		t.Fatalf("List = %v", got)
+	}
+}
+
+func TestReadSurvivesSingleNodeFailure(t *testing.T) {
+	nn := newTestCluster(t, 4, 256, 2)
+	payload := bytes.Repeat([]byte("replicated"), 200)
+	writeFile(t, nn, "/resilient", payload)
+	nn.DataNode(0).Fail()
+	got := readFile(t, nn, "/resilient")
+	if !bytes.Equal(got, payload) {
+		t.Fatal("read after single failure corrupted")
+	}
+}
+
+func TestReadFailsWhenAllReplicasLost(t *testing.T) {
+	nn := newTestCluster(t, 2, 256, 2)
+	writeFile(t, nn, "/doomed", make([]byte, 100))
+	nn.DataNode(0).Fail()
+	nn.DataNode(1).Fail()
+	r, err := nn.Open("/doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(r); !errors.Is(err, ErrBlockLost) {
+		t.Fatalf("err = %v, want ErrBlockLost", err)
+	}
+}
+
+func TestUnderReplicatedReport(t *testing.T) {
+	nn := newTestCluster(t, 3, 100, 2)
+	writeFile(t, nn, "/watch", make([]byte, 300)) // 3 blocks x 2 replicas
+	if ur := nn.UnderReplicated(); len(ur) != 0 {
+		t.Fatalf("healthy cluster reports %d under-replicated", len(ur))
+	}
+	nn.DataNode(1).Fail()
+	ur := nn.UnderReplicated()
+	if len(ur) == 0 {
+		t.Fatal("failure produced no under-replicated blocks")
+	}
+	for _, b := range ur {
+		if b.ID.Path != "/watch" {
+			t.Fatalf("unexpected block %v", b.ID)
+		}
+	}
+}
+
+func TestRereplicateRestoresRedundancy(t *testing.T) {
+	nn := newTestCluster(t, 4, 100, 2)
+	payload := make([]byte, 400)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	writeFile(t, nn, "/heal", payload)
+	nn.DataNode(0).Fail()
+	lost := len(nn.UnderReplicated())
+	if lost == 0 {
+		t.Skip("round-robin placed nothing on node 0 (placement changed?)")
+	}
+	created, err := nn.Rereplicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created == 0 {
+		t.Fatal("Rereplicate created nothing")
+	}
+	if ur := nn.UnderReplicated(); len(ur) != 0 {
+		t.Fatalf("%d blocks still under-replicated after heal", len(ur))
+	}
+	// Fail another node: data must still be readable thanks to healing.
+	nn.DataNode(1).Fail()
+	if _, err := nn.Rereplicate(); err != nil {
+		t.Fatal(err)
+	}
+	got := readFile(t, nn, "/heal")
+	if !bytes.Equal(got, payload) {
+		t.Fatal("data corrupted after two failures with healing")
+	}
+}
+
+func TestReadBlockPrefersHintedNode(t *testing.T) {
+	nn := newTestCluster(t, 3, 100, 3)
+	writeFile(t, nn, "/local", make([]byte, 100))
+	blocks, _ := nn.Blocks("/local")
+	for _, node := range blocks[0].Locations {
+		if _, err := nn.ReadBlock(blocks[0].ID, node); err != nil {
+			t.Fatalf("hinted read via node %d: %v", node, err)
+		}
+	}
+	// Bad hint still succeeds via failover.
+	if _, err := nn.ReadBlock(blocks[0].ID, 99); err != nil {
+		t.Fatalf("read with bogus hint: %v", err)
+	}
+}
+
+func TestReadBlockOutOfRange(t *testing.T) {
+	nn := newTestCluster(t, 2, 100, 1)
+	writeFile(t, nn, "/one", make([]byte, 50))
+	if _, err := nn.ReadBlock(BlockID{Path: "/one", Index: 5}, -1); err == nil {
+		t.Fatal("out-of-range block read succeeded")
+	}
+	if _, err := nn.ReadBlock(BlockID{Path: "/ghost", Index: 0}, -1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriterCloseIdempotentAndWriteAfterCloseFails(t *testing.T) {
+	nn := newTestCluster(t, 2, 100, 1)
+	w, err := nn.Create("/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("late")); !errors.Is(err, ErrWriterClosed) {
+		t.Fatalf("write after close err = %v", err)
+	}
+}
+
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	nn := newTestCluster(t, 4, 512, 2)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/concurrent/%d", i)
+			payload := bytes.Repeat([]byte{byte(i)}, 2000)
+			w, err := nn.Create(path)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := w.Write(payload); err != nil {
+				errs <- err
+				return
+			}
+			if err := w.Close(); err != nil {
+				errs <- err
+				return
+			}
+			r, err := nn.Open(path)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got, err := io.ReadAll(r)
+			if err != nil || !bytes.Equal(got, payload) {
+				errs <- fmt.Errorf("file %d corrupted (%v)", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRoundTripAnySize(t *testing.T) {
+	nn := newTestCluster(t, 3, 64, 2)
+	rng := rand.New(rand.NewSource(9))
+	seq := 0
+	f := func(n uint16) bool {
+		size := int(n) % 5000
+		payload := make([]byte, size)
+		rng.Read(payload)
+		path := fmt.Sprintf("/prop/%d", seq)
+		seq++
+		w, err := nn.Create(path)
+		if err != nil {
+			return false
+		}
+		// Write in randomly-sized chunks to exercise block boundaries.
+		rest := payload
+		for len(rest) > 0 {
+			k := 1 + rng.Intn(200)
+			if k > len(rest) {
+				k = len(rest)
+			}
+			if _, err := w.Write(rest[:k]); err != nil {
+				return false
+			}
+			rest = rest[k:]
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := nn.Open(path)
+		if err != nil {
+			return false
+		}
+		got, err := io.ReadAll(r)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroDataNodesRejected(t *testing.T) {
+	if _, err := NewCluster(0, Config{}); !errors.Is(err, ErrNoDataNodes) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecoverAllowsNewPlacements(t *testing.T) {
+	nn := newTestCluster(t, 2, 100, 2)
+	nn.DataNode(0).Fail()
+	writeFile(t, nn, "/during", make([]byte, 100))
+	blocks, _ := nn.Blocks("/during")
+	if len(blocks[0].Locations) != 1 {
+		t.Fatalf("placement on failed cluster: %v", blocks[0].Locations)
+	}
+	nn.DataNode(0).Recover()
+	if created, err := nn.Rereplicate(); err != nil || created != 1 {
+		t.Fatalf("Rereplicate after recover = %d, %v", created, err)
+	}
+}

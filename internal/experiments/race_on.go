@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// performance-sensitive live assertions are skipped because instrumentation
+// skews the machinery under test (goroutine hand-offs far more than inline
+// socket reads).
+const raceEnabled = true

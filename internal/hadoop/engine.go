@@ -1,0 +1,343 @@
+// Package hadoop is a miniature but real Hadoop 0.20 MapReduce engine
+// assembled from this repository's live substrates: a jobtracker serving
+// the task protocol over internal/hadooprpc, tasktrackers that poll it
+// with heartbeats and run map/reduce tasks in slot-bounded workers, map
+// outputs partitioned and served through internal/jetty's shuffle servlet,
+// and reducers that fetch, merge and reduce.
+//
+// It executes the same jobs as the MPI-D path (internal/mapred): both
+// consume mapred.Job and mapred.Split, so one workload can run on either
+// engine. That enables the live counterpart of the paper's Figure 6 — the
+// identical WordCount on the Hadoop-shaped data path (RPC heartbeats +
+// HTTP shuffle + per-task scheduling) versus the MPI-D path (pre-spawned
+// ranks + buffered/combined/realigned MPI messages) — on one machine, with
+// every byte crossing real sockets.
+package hadoop
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/ict-repro/mpid/internal/hadooprpc"
+	"github.com/ict-repro/mpid/internal/kv"
+	"github.com/ict-repro/mpid/internal/mapred"
+)
+
+// Config sizes the mini-cluster.
+type Config struct {
+	// NumTrackers is the tasktracker count (default 2).
+	NumTrackers int
+	// MapSlots and ReduceSlots bound per-tracker task concurrency
+	// (defaults 2 and 2).
+	MapSlots, ReduceSlots int
+	// Heartbeat is the tasktracker poll interval. Hadoop uses 3 s; the
+	// default here is 2 ms so tests and live benchmarks are not dominated
+	// by idle waiting — scale it up to study scheduling latency.
+	Heartbeat time.Duration
+	// SlowstartFraction gates reduce launches on map progress (default
+	// 0.05, as mapred.reduce.slowstart).
+	SlowstartFraction float64
+	// CopierThreads is the number of parallel shuffle fetchers per reduce
+	// task (mapred.reduce.parallel.copies; default 5).
+	CopierThreads int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumTrackers <= 0 {
+		c.NumTrackers = 2
+	}
+	if c.MapSlots <= 0 {
+		c.MapSlots = 2
+	}
+	if c.ReduceSlots <= 0 {
+		c.ReduceSlots = 2
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 2 * time.Millisecond
+	}
+	if c.SlowstartFraction <= 0 {
+		c.SlowstartFraction = 0.05
+	}
+	if c.CopierThreads <= 0 {
+		c.CopierThreads = 5
+	}
+	return c
+}
+
+// Protocol identity for the jobtracker RPC service.
+const (
+	jtProtocolName    = "org.ict.mpid.JobTrackerProtocol"
+	jtProtocolVersion = int64(20)
+)
+
+// Heartbeat action types.
+const (
+	actLaunchMap    = 1
+	actLaunchReduce = 2
+	actAbort        = 3
+	actJobDone      = 4
+)
+
+// Run executes the job over the given splits on a fresh mini-cluster and
+// returns the collected result. It is the Hadoop-path analogue of
+// mapred.Run.
+func Run(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.Result, error) {
+	if job.Mapper == nil || job.Reducer == nil {
+		return nil, errors.New("hadoop: job needs Mapper and Reducer")
+	}
+	if job.NumReducers <= 0 {
+		job.NumReducers = 1
+	}
+	cfg = cfg.withDefaults()
+
+	jt := newJobTracker(job, splits, cfg)
+	addr, err := jt.start()
+	if err != nil {
+		return nil, err
+	}
+	defer jt.stop()
+
+	var wg sync.WaitGroup
+	trackerErrs := make([]error, cfg.NumTrackers)
+	for i := 0; i < cfg.NumTrackers; i++ {
+		tt, err := newTaskTracker(addr, job, splits, cfg)
+		if err != nil {
+			jt.abort(fmt.Errorf("hadoop: tracker %d: %w", i, err))
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			trackerErrs[i] = tt.run()
+			tt.close()
+		}(i)
+	}
+	wg.Wait()
+
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	if jt.failure != nil {
+		return nil, jt.failure
+	}
+	for _, err := range trackerErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if jt.reducesDone != job.NumReducers {
+		return nil, fmt.Errorf("hadoop: job ended with %d/%d reduces done", jt.reducesDone, job.NumReducers)
+	}
+	result := &mapred.Result{
+		ByReducer: jt.outputs,
+		MapTasks:  len(splits),
+	}
+	return result, nil
+}
+
+// --------------------------------------------------------------------------
+// JobTracker
+
+type trackerInfo struct {
+	id        int
+	jettyAddr string
+}
+
+type jobTracker struct {
+	job    mapred.Job
+	splits []mapred.Split
+	cfg    Config
+
+	srv *hadooprpc.Server
+
+	mu          sync.Mutex
+	trackers    []trackerInfo
+	pendingMaps []int
+	mapsDone    int
+	mapLocation map[int]int  // map task -> tracker id (provisional at assign)
+	completed   map[int]bool // map tasks that reported completion
+	nextReduce  int
+	reducesDone int
+	outputs     [][]kv.Pair
+	failure     error
+}
+
+func newJobTracker(job mapred.Job, splits []mapred.Split, cfg Config) *jobTracker {
+	jt := &jobTracker{
+		job:         job,
+		splits:      splits,
+		cfg:         cfg,
+		mapLocation: make(map[int]int),
+		completed:   make(map[int]bool),
+		outputs:     make([][]kv.Pair, job.NumReducers),
+	}
+	for i := range splits {
+		jt.pendingMaps = append(jt.pendingMaps, i)
+	}
+	return jt
+}
+
+func (jt *jobTracker) start() (string, error) {
+	jt.srv = hadooprpc.NewServer()
+	jt.srv.Register(&hadooprpc.Protocol{
+		Name:    jtProtocolName,
+		Version: jtProtocolVersion,
+		Methods: map[string]hadooprpc.Handler{
+			"register":        jt.handleRegister,
+			"heartbeat":       jt.handleHeartbeat,
+			"mapCompleted":    jt.handleMapCompleted,
+			"reduceCompleted": jt.handleReduceCompleted,
+			"taskFailed":      jt.handleTaskFailed,
+			"mapLocations":    jt.handleMapLocations,
+		},
+	})
+	return jt.srv.Listen("127.0.0.1:0")
+}
+
+func (jt *jobTracker) stop() {
+	jt.srv.Close()
+}
+
+func (jt *jobTracker) abort(err error) {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	if jt.failure == nil {
+		jt.failure = err
+	}
+}
+
+// handleRegister: [jettyAddr] -> trackerID.
+func (jt *jobTracker) handleRegister(params [][]byte) ([]byte, error) {
+	if len(params) != 1 {
+		return nil, errors.New("register wants 1 parameter")
+	}
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	id := len(jt.trackers)
+	jt.trackers = append(jt.trackers, trackerInfo{id: id, jettyAddr: string(params[0])})
+	return kv.AppendVLong(nil, int64(id)), nil
+}
+
+// handleHeartbeat: [trackerID, freeMapSlots, freeReduceSlots] -> action
+// list. At most one map and one reduce launch per heartbeat, the 0.20
+// behaviour.
+func (jt *jobTracker) handleHeartbeat(params [][]byte) ([]byte, error) {
+	if len(params) != 3 {
+		return nil, errors.New("heartbeat wants 3 parameters")
+	}
+	trackerID, _, err := kv.ReadVLong(params[0])
+	if err != nil {
+		return nil, err
+	}
+	freeMap, _, err := kv.ReadVLong(params[1])
+	if err != nil {
+		return nil, err
+	}
+	freeReduce, _, err := kv.ReadVLong(params[2])
+	if err != nil {
+		return nil, err
+	}
+
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	var resp []byte
+	switch {
+	case jt.failure != nil:
+		resp = kv.AppendVLong(resp, actAbort)
+	case jt.reducesDone == jt.job.NumReducers:
+		resp = kv.AppendVLong(resp, actJobDone)
+	default:
+		if freeMap > 0 && len(jt.pendingMaps) > 0 {
+			task := jt.pendingMaps[0]
+			jt.pendingMaps = jt.pendingMaps[1:]
+			jt.mapLocation[task] = int(trackerID) // provisional; confirmed on completion
+			resp = kv.AppendVLong(resp, actLaunchMap)
+			resp = kv.AppendVLong(resp, int64(task))
+		}
+		slowstartMet := float64(jt.mapsDone) >= jt.cfg.SlowstartFraction*float64(len(jt.splits))
+		if freeReduce > 0 && slowstartMet && jt.nextReduce < jt.job.NumReducers {
+			resp = kv.AppendVLong(resp, actLaunchReduce)
+			resp = kv.AppendVLong(resp, int64(jt.nextReduce))
+			jt.nextReduce++
+		}
+	}
+	return resp, nil
+}
+
+// handleMapCompleted: [trackerID, mapID].
+func (jt *jobTracker) handleMapCompleted(params [][]byte) ([]byte, error) {
+	if len(params) != 2 {
+		return nil, errors.New("mapCompleted wants 2 parameters")
+	}
+	trackerID, _, err := kv.ReadVLong(params[0])
+	if err != nil {
+		return nil, err
+	}
+	mapID, _, err := kv.ReadVLong(params[1])
+	if err != nil {
+		return nil, err
+	}
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	jt.mapLocation[int(mapID)] = int(trackerID)
+	if !jt.completed[int(mapID)] {
+		jt.completed[int(mapID)] = true
+		jt.mapsDone++
+	}
+	return nil, nil
+}
+
+// handleReduceCompleted: [reduceID, framedPairs].
+func (jt *jobTracker) handleReduceCompleted(params [][]byte) ([]byte, error) {
+	if len(params) != 2 {
+		return nil, errors.New("reduceCompleted wants 2 parameters")
+	}
+	reduceID, _, err := kv.ReadVLong(params[0])
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := decodePairs(params[1])
+	if err != nil {
+		return nil, err
+	}
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	if int(reduceID) < 0 || int(reduceID) >= len(jt.outputs) {
+		return nil, fmt.Errorf("reduce id %d out of range", reduceID)
+	}
+	jt.outputs[reduceID] = pairs
+	jt.reducesDone++
+	return nil, nil
+}
+
+// handleTaskFailed: [message] — the job aborts (no retries in the mini
+// engine; internal/mapred demonstrates retry scheduling).
+func (jt *jobTracker) handleTaskFailed(params [][]byte) ([]byte, error) {
+	msg := "task failed"
+	if len(params) == 1 {
+		msg = string(params[0])
+	}
+	jt.abort(errors.New("hadoop: " + msg))
+	return nil, nil
+}
+
+// handleMapLocations: [] -> [count, then per completed map: mapID,
+// jettyAddr]. Reducers poll this until every map is present — the event
+// stream a real reduce task's copier follows.
+func (jt *jobTracker) handleMapLocations(params [][]byte) ([]byte, error) {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	done := make([]int, 0, len(jt.completed))
+	for task := range jt.completed {
+		done = append(done, task)
+	}
+	sort.Ints(done)
+	resp := kv.AppendVLong(nil, int64(len(done)))
+	for _, task := range done {
+		resp = kv.AppendVLong(resp, int64(task))
+		resp = kv.AppendBytes(resp, []byte(jt.trackers[jt.mapLocation[task]].jettyAddr))
+	}
+	return resp, nil
+}

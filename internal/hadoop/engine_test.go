@@ -1,0 +1,253 @@
+package hadoop
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/ict-repro/mpid/internal/core"
+	"github.com/ict-repro/mpid/internal/kv"
+	"github.com/ict-repro/mpid/internal/mapred"
+	"github.com/ict-repro/mpid/internal/workload"
+)
+
+var wcMapper = mapred.MapperFunc(func(_, line []byte, emit mapred.Emit) error {
+	for _, w := range bytes.Fields(line) {
+		if err := emit(w, kv.AppendVLong(nil, 1)); err != nil {
+			return err
+		}
+	}
+	return nil
+})
+
+var wcReducer = mapred.ReducerFunc(func(key []byte, values [][]byte, emit mapred.Emit) error {
+	var total int64
+	for _, v := range values {
+		n, _, err := kv.ReadVLong(v)
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	return emit(key, kv.AppendVLong(nil, total))
+})
+
+func genText(t *testing.T, size int, seed int64) []byte {
+	t.Helper()
+	vocab := workload.NewVocabulary(300, seed)
+	return workload.NewTextGenerator(vocab, 1.1, seed+1).BytesOfText(size)
+}
+
+func refCounts(text []byte) map[string]int64 {
+	ref := make(map[string]int64)
+	for _, line := range strings.Split(string(text), "\n") {
+		for _, w := range strings.Fields(line) {
+			ref[w]++
+		}
+	}
+	return ref
+}
+
+func decode(t *testing.T, pairs []kv.Pair) map[string]int64 {
+	t.Helper()
+	out := make(map[string]int64)
+	for _, p := range pairs {
+		n, _, err := kv.ReadVLong(p.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[string(p.Key)] += n
+	}
+	return out
+}
+
+func TestWordCountOnMiniHadoop(t *testing.T) {
+	text := genText(t, 60_000, 1)
+	job := mapred.Job{
+		Name:        "wc",
+		Mapper:      wcMapper,
+		Reducer:     wcReducer,
+		Combiner:    mapred.CombinerFromReducer(wcReducer),
+		NumReducers: 3,
+	}
+	res, err := Run(job, mapred.SplitText(text, 8_000), Config{NumTrackers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decode(t, res.Pairs())
+	want := refCounts(text)
+	if len(got) != len(want) {
+		t.Fatalf("distinct words: got %d, want %d", len(got), len(want))
+	}
+	for w, c := range want {
+		if got[w] != c {
+			t.Errorf("count[%q] = %d, want %d", w, got[w], c)
+		}
+	}
+	if res.MapTasks != len(mapred.SplitText(text, 8_000)) {
+		t.Errorf("MapTasks = %d", res.MapTasks)
+	}
+}
+
+func TestMiniHadoopMatchesMPIDEngine(t *testing.T) {
+	// The same job on both engines must produce identical results — the
+	// precondition for a fair live Figure 6.
+	text := genText(t, 30_000, 2)
+	splits := mapred.SplitText(text, 4_000)
+	job := mapred.Job{
+		Mapper:      wcMapper,
+		Reducer:     wcReducer,
+		Combiner:    mapred.CombinerFromReducer(wcReducer),
+		NumReducers: 2,
+	}
+	hres, err := Run(job, splits, Config{NumTrackers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := mapred.Run(job, splits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, m := decode(t, hres.Pairs()), decode(t, mres.Pairs())
+	if len(h) != len(m) {
+		t.Fatalf("engines disagree on distinct words: %d vs %d", len(h), len(m))
+	}
+	for w, c := range m {
+		if h[w] != c {
+			t.Errorf("count[%q]: hadoop %d, mpid %d", w, h[w], c)
+		}
+	}
+}
+
+func TestMiniHadoopSortJobGlobalOrder(t *testing.T) {
+	gen := workload.NewSortGenerator(3)
+	records := gen.Records(1_000)
+	var pairs []kv.Pair
+	for _, r := range records {
+		pairs = append(pairs, kv.Pair{Key: r.Key, Value: r.Value})
+	}
+	splits := []mapred.Split{
+		mapred.NewPairSplit(0, pairs[:400]),
+		mapred.NewPairSplit(1, pairs[400:]),
+	}
+	identityMap := mapred.MapperFunc(func(k, v []byte, emit mapred.Emit) error { return emit(k, v) })
+	identityReduce := mapred.ReducerFunc(func(k []byte, values [][]byte, emit mapred.Emit) error {
+		for _, v := range values {
+			if err := emit(k, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	res, err := Run(mapred.Job{
+		Mapper:      identityMap,
+		Reducer:     identityReduce,
+		Partitioner: core.FirstByteRangePartitioner,
+		NumReducers: 4,
+	}, splits, Config{NumTrackers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []kv.Pair
+	for _, rp := range res.ByReducer {
+		out = append(out, rp...)
+	}
+	if len(out) != len(pairs) {
+		t.Fatalf("output %d records, want %d", len(out), len(pairs))
+	}
+	for i := 1; i < len(out); i++ {
+		if kv.Compare(out[i-1].Key, out[i].Key) > 0 {
+			t.Fatalf("global order violated at %d", i)
+		}
+	}
+}
+
+func TestMiniHadoopMapperErrorAbortsJob(t *testing.T) {
+	bad := mapred.MapperFunc(func(_, _ []byte, _ mapred.Emit) error {
+		return errors.New("deliberate map failure")
+	})
+	_, err := Run(mapred.Job{Mapper: bad, Reducer: wcReducer},
+		mapred.SplitText([]byte("x\n"), 10), Config{})
+	if err == nil || !strings.Contains(err.Error(), "deliberate map failure") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMiniHadoopReducerErrorAbortsJob(t *testing.T) {
+	bad := mapred.ReducerFunc(func(_ []byte, _ [][]byte, _ mapred.Emit) error {
+		return errors.New("deliberate reduce failure")
+	})
+	_, err := Run(mapred.Job{Mapper: wcMapper, Reducer: bad},
+		mapred.SplitText([]byte("x y\n"), 10), Config{})
+	if err == nil || !strings.Contains(err.Error(), "deliberate reduce failure") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMiniHadoopValidation(t *testing.T) {
+	if _, err := Run(mapred.Job{}, nil, Config{}); err == nil {
+		t.Error("job without mapper/reducer accepted")
+	}
+}
+
+func TestMiniHadoopEmptyInput(t *testing.T) {
+	res, err := Run(mapred.Job{Mapper: wcMapper, Reducer: wcReducer, NumReducers: 2},
+		nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs()) != 0 {
+		t.Fatalf("empty input produced %d pairs", len(res.Pairs()))
+	}
+}
+
+func TestMiniHadoopManyTrackersAndSlots(t *testing.T) {
+	text := genText(t, 40_000, 4)
+	job := mapred.Job{
+		Mapper:      wcMapper,
+		Reducer:     wcReducer,
+		NumReducers: 4,
+	}
+	res, err := Run(job, mapred.SplitText(text, 2_000),
+		Config{NumTrackers: 4, MapSlots: 3, ReduceSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decode(t, res.Pairs())
+	want := refCounts(text)
+	var gt, wt int64
+	for _, v := range got {
+		gt += v
+	}
+	for _, v := range want {
+		wt += v
+	}
+	if gt != wt {
+		t.Fatalf("word totals differ: %d vs %d", gt, wt)
+	}
+}
+
+func TestCopierThreadsConfigurable(t *testing.T) {
+	// A single copier thread must still complete correctly (degenerate
+	// pool), and many threads must not duplicate or lose fetches.
+	text := genText(t, 20_000, 9)
+	splits := mapred.SplitText(text, 2_000)
+	job := mapred.Job{Mapper: wcMapper, Reducer: wcReducer, NumReducers: 2}
+	want := refCounts(text)
+	for _, copiers := range []int{1, 8} {
+		res, err := Run(job, splits, Config{NumTrackers: 2, CopierThreads: copiers})
+		if err != nil {
+			t.Fatalf("copiers=%d: %v", copiers, err)
+		}
+		got := decode(t, res.Pairs())
+		if len(got) != len(want) {
+			t.Fatalf("copiers=%d: distinct words %d, want %d", copiers, len(got), len(want))
+		}
+		for w, c := range want {
+			if got[w] != c {
+				t.Fatalf("copiers=%d: count[%q] = %d, want %d", copiers, w, got[w], c)
+			}
+		}
+	}
+}

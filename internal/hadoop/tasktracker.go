@@ -1,0 +1,375 @@
+package hadoop
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/ict-repro/mpid/internal/core"
+	"github.com/ict-repro/mpid/internal/hadooprpc"
+	"github.com/ict-repro/mpid/internal/jetty"
+	"github.com/ict-repro/mpid/internal/kv"
+	"github.com/ict-repro/mpid/internal/mapred"
+)
+
+// jobName labels map outputs in the shuffle store.
+const jobName = "job_local_0001"
+
+// taskTracker runs tasks for one simulated machine: an RPC client to the
+// jobtracker, an embedded jetty server holding this tracker's map outputs,
+// and slot-bounded worker pools.
+type taskTracker struct {
+	id     int
+	job    mapred.Job
+	splits []mapred.Split
+	cfg    Config
+
+	rpc       *hadooprpc.MuxClient
+	store     *jetty.Store
+	jettySrv  *jetty.Server
+	jettyAddr string
+	fetch     *jetty.Client
+
+	mapSem    chan struct{}
+	reduceSem chan struct{}
+	tasks     sync.WaitGroup
+
+	mu       sync.Mutex
+	taskErr  error
+	aborting bool
+}
+
+func newTaskTracker(jtAddr string, job mapred.Job, splits []mapred.Split, cfg Config) (*taskTracker, error) {
+	tt := &taskTracker{
+		job:       job,
+		splits:    splits,
+		cfg:       cfg,
+		store:     jetty.NewStore(),
+		fetch:     jetty.NewClient(),
+		mapSem:    make(chan struct{}, cfg.MapSlots),
+		reduceSem: make(chan struct{}, cfg.ReduceSlots),
+	}
+	tt.jettySrv = jetty.NewServer(tt.store)
+	addr, err := tt.jettySrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	tt.jettyAddr = addr
+
+	tt.rpc, err = hadooprpc.DialMux(jtAddr, jtProtocolName, jtProtocolVersion)
+	if err != nil {
+		tt.jettySrv.Close()
+		return nil, err
+	}
+	idBytes, err := tt.rpc.Call("register", []byte(addr))
+	if err != nil {
+		tt.close()
+		return nil, err
+	}
+	id, _, err := kv.ReadVLong(idBytes)
+	if err != nil {
+		tt.close()
+		return nil, err
+	}
+	tt.id = int(id)
+	return tt, nil
+}
+
+func (tt *taskTracker) close() {
+	tt.rpc.Close()
+	tt.jettySrv.Close()
+	tt.fetch.Close()
+}
+
+func (tt *taskTracker) fail(err error) {
+	tt.mu.Lock()
+	if tt.taskErr == nil {
+		tt.taskErr = err
+	}
+	tt.mu.Unlock()
+	// Report once; the jobtracker aborts the job.
+	_, _ = tt.rpc.Call("taskFailed", []byte(err.Error()))
+}
+
+// run is the heartbeat loop: report free slots, launch whatever comes back,
+// exit on job completion or abort.
+func (tt *taskTracker) run() error {
+	for {
+		resp, err := tt.rpc.Call("heartbeat",
+			kv.AppendVLong(nil, int64(tt.id)),
+			kv.AppendVLong(nil, int64(free(tt.mapSem))),
+			kv.AppendVLong(nil, int64(free(tt.reduceSem))))
+		if err != nil {
+			tt.tasks.Wait()
+			return fmt.Errorf("hadoop: heartbeat: %w", err)
+		}
+		stop, err := tt.dispatch(resp)
+		if err != nil {
+			tt.tasks.Wait()
+			return err
+		}
+		if stop {
+			tt.tasks.Wait()
+			tt.mu.Lock()
+			defer tt.mu.Unlock()
+			return tt.taskErr
+		}
+		time.Sleep(tt.cfg.Heartbeat)
+	}
+}
+
+// free reports a semaphore's free slots.
+func free(sem chan struct{}) int { return cap(sem) - len(sem) }
+
+// dispatch decodes a heartbeat response and launches tasks. It reports
+// stop=true on job end or abort.
+func (tt *taskTracker) dispatch(resp []byte) (bool, error) {
+	for len(resp) > 0 {
+		act, n, err := kv.ReadVLong(resp)
+		if err != nil {
+			return false, fmt.Errorf("hadoop: corrupt heartbeat response: %w", err)
+		}
+		resp = resp[n:]
+		switch act {
+		case actJobDone:
+			return true, nil
+		case actAbort:
+			tt.mu.Lock()
+			tt.aborting = true
+			tt.mu.Unlock()
+			return true, nil
+		case actLaunchMap, actLaunchReduce:
+			id64, n, err := kv.ReadVLong(resp)
+			if err != nil {
+				return false, fmt.Errorf("hadoop: corrupt task id: %w", err)
+			}
+			resp = resp[n:]
+			if act == actLaunchMap {
+				tt.launchMap(int(id64))
+			} else {
+				tt.launchReduce(int(id64))
+			}
+		default:
+			return false, fmt.Errorf("hadoop: unknown action %d", act)
+		}
+	}
+	return false, nil
+}
+
+func (tt *taskTracker) launchMap(task int) {
+	tt.mapSem <- struct{}{}
+	tt.tasks.Add(1)
+	go func() {
+		defer tt.tasks.Done()
+		defer func() { <-tt.mapSem }()
+		if err := tt.runMapTask(task); err != nil {
+			tt.fail(fmt.Errorf("map task %d: %w", task, err))
+			return
+		}
+		if _, err := tt.rpc.Call("mapCompleted",
+			kv.AppendVLong(nil, int64(tt.id)),
+			kv.AppendVLong(nil, int64(task))); err != nil {
+			tt.fail(err)
+		}
+	}()
+}
+
+func (tt *taskTracker) launchReduce(task int) {
+	tt.reduceSem <- struct{}{}
+	tt.tasks.Add(1)
+	go func() {
+		defer tt.tasks.Done()
+		defer func() { <-tt.reduceSem }()
+		out, err := tt.runReduceTask(task)
+		if err != nil {
+			tt.fail(fmt.Errorf("reduce task %d: %w", task, err))
+			return
+		}
+		if _, err := tt.rpc.Call("reduceCompleted",
+			kv.AppendVLong(nil, int64(task)), out); err != nil {
+			tt.fail(err)
+		}
+	}()
+}
+
+// runMapTask maps one split, partitions the output, optionally combines,
+// and publishes per-reduce partitions into the local shuffle store.
+func (tt *taskTracker) runMapTask(task int) error {
+	nParts := tt.job.NumReducers
+	partitioner := tt.job.Partitioner
+	if partitioner == nil {
+		partitioner = core.HashPartitioner
+	}
+	// Collect pairs grouped per partition, keyed for the combiner.
+	groups := make([]map[string][][]byte, nParts)
+	order := make([][]string, nParts)
+	for i := range groups {
+		groups[i] = make(map[string][][]byte)
+	}
+	emit := func(key, value []byte) error {
+		p := partitioner(key, nParts)
+		if p < 0 || p >= nParts {
+			return fmt.Errorf("partitioner returned %d for %d partitions", p, nParts)
+		}
+		k := string(key)
+		if _, seen := groups[p][k]; !seen {
+			order[p] = append(order[p], k)
+		}
+		groups[p][k] = append(groups[p][k], append([]byte(nil), value...))
+		return nil
+	}
+	if err := tt.splits[task].Records(func(k, v []byte) error {
+		return tt.job.Mapper.Map(k, v, emit)
+	}); err != nil {
+		return err
+	}
+	// Spill: combine and serialize each partition, publish to the store.
+	for p := 0; p < nParts; p++ {
+		var buf []byte
+		for _, k := range order[p] {
+			values := groups[p][k]
+			if tt.job.Combiner != nil {
+				values = tt.job.Combiner([]byte(k), values)
+			}
+			buf = kv.AppendKeyList(buf, kv.KeyList{Key: []byte(k), Values: values})
+		}
+		tt.store.Put(jetty.OutputKey{Job: jobName, Map: task, Reduce: p}, buf)
+	}
+	return nil
+}
+
+// runReduceTask is the copy/sort/reduce lifecycle: poll the jobtracker for
+// completed map locations, fetch partitions over HTTP with a pool of
+// parallel copiers (mapred.reduce.parallel.copies), merge by key, sort, and
+// run the user reduce function.
+func (tt *taskTracker) runReduceTask(task int) ([]byte, error) {
+	fetched := make(map[int]bool, len(tt.splits))
+	merged := make(map[string][][]byte)
+	var mergedMu sync.Mutex
+	copierSem := make(chan struct{}, tt.cfg.CopierThreads)
+
+	for len(fetched) < len(tt.splits) {
+		if tt.isAborting() {
+			return nil, fmt.Errorf("job aborted during copy")
+		}
+		locs, err := tt.rpc.Call("mapLocations")
+		if err != nil {
+			return nil, err
+		}
+		count, n, err := kv.ReadVLong(locs)
+		if err != nil {
+			return nil, err
+		}
+		locs = locs[n:]
+		type fetchJob struct {
+			mapID int
+			addr  string
+		}
+		var jobs []fetchJob
+		for i := int64(0); i < count; i++ {
+			mapID64, n, err := kv.ReadVLong(locs)
+			if err != nil {
+				return nil, err
+			}
+			locs = locs[n:]
+			addr, n, err := kv.ReadBytes(locs)
+			if err != nil {
+				return nil, err
+			}
+			locs = locs[n:]
+			if mapID := int(mapID64); !fetched[mapID] {
+				jobs = append(jobs, fetchJob{mapID: mapID, addr: string(addr)})
+			}
+		}
+		// Fetch the new outputs with bounded parallelism.
+		var (
+			wg       sync.WaitGroup
+			errMu    sync.Mutex
+			fetchErr error
+		)
+		for _, j := range jobs {
+			j := j
+			copierSem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-copierSem }()
+				data, err := tt.fetch.FetchMapOutput(j.addr,
+					jetty.OutputKey{Job: jobName, Map: j.mapID, Reduce: task})
+				if err != nil {
+					errMu.Lock()
+					if fetchErr == nil {
+						fetchErr = fmt.Errorf("fetch map %d: %w", j.mapID, err)
+					}
+					errMu.Unlock()
+					return
+				}
+				for len(data) > 0 {
+					klist, n, err := kv.ReadKeyList(data)
+					if err != nil {
+						errMu.Lock()
+						if fetchErr == nil {
+							fetchErr = fmt.Errorf("corrupt map %d output: %w", j.mapID, err)
+						}
+						errMu.Unlock()
+						return
+					}
+					data = data[n:]
+					k := string(klist.Key)
+					mergedMu.Lock()
+					merged[k] = append(merged[k], klist.Values...)
+					mergedMu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if fetchErr != nil {
+			return nil, fetchErr
+		}
+		for _, j := range jobs {
+			fetched[j.mapID] = true
+		}
+		if len(fetched) < len(tt.splits) && len(jobs) == 0 {
+			time.Sleep(tt.cfg.Heartbeat)
+		}
+	}
+
+	// Sort keys (the merge-sort phase) and reduce.
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	emit := func(key, value []byte) error {
+		out = kv.AppendPair(out, kv.Pair{Key: key, Value: value})
+		return nil
+	}
+	for _, k := range keys {
+		if err := tt.job.Reducer.Reduce([]byte(k), merged[k], emit); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (tt *taskTracker) isAborting() bool {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return tt.aborting
+}
+
+// decodePairs parses framed pairs (reduce output).
+func decodePairs(b []byte) ([]kv.Pair, error) {
+	var pairs []kv.Pair
+	for len(b) > 0 {
+		p, n, err := kv.ReadPair(b)
+		if err != nil {
+			return nil, fmt.Errorf("hadoop: corrupt reduce output: %w", err)
+		}
+		pairs = append(pairs, p.Clone())
+		b = b[n:]
+	}
+	return pairs, nil
+}

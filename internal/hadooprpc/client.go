@@ -1,0 +1,144 @@
+package hadooprpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is an RPC proxy for one protocol on one server, the analogue of
+// RPC.getProxy in Hadoop. As in Hadoop 0.20's ipc.Client with a single
+// connection, calls on one Client are serialized: one call is in flight at
+// a time. Concurrency requires multiple clients, which is exactly the
+// behaviour that throttles shuffle-over-RPC.
+type Client struct {
+	protocol string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	nextID int32
+	closed bool
+}
+
+// Dial connects to the server, sends the connection header and performs the
+// VersionedProtocol handshake for the named protocol.
+func Dial(addr, protocol string, version int64) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Client{
+		protocol: protocol,
+		conn:     conn,
+		r:        bufio.NewReaderSize(conn, 64*1024),
+		w:        bufio.NewWriterSize(conn, 64*1024),
+	}
+	// Connection header.
+	if _, err := c.w.WriteString(headerMagic); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.w.WriteByte(headerVersion); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	// VersionedProtocol handshake.
+	var ver [8]byte
+	binary.BigEndian.PutUint64(ver[:], uint64(version))
+	got, err := c.Call(getProtocolVersionMethod, ver[:])
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("hadooprpc: handshake: %w", err)
+	}
+	if len(got) != 8 || int64(binary.BigEndian.Uint64(got)) != version {
+		conn.Close()
+		return nil, ErrVersionMismatch
+	}
+	return c, nil
+}
+
+// Call invokes method with the given parameters and returns its value. The
+// entire parameter set is serialized into one call frame before anything
+// hits the wire — Hadoop's copy-then-send behaviour.
+func (c *Client) Call(method string, params ...[]byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("hadooprpc: client closed")
+	}
+	id := c.nextID
+	c.nextID++
+	frame, err := encodeCall(id, c.protocol, method, params)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.w.Write(frame); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	gotID, value, err := readResponse(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if gotID != id {
+		return nil, fmt.Errorf("hadooprpc: response id %d for call %d", gotID, id)
+	}
+	return value, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// --------------------------------------------------------------------------
+// Echo protocol: the benchmark protocol from §II.B. The paper implements "a
+// basic class extending from VersionedProtocol ... with a simple recv
+// method, which only checks the received data size" and echoes it back for
+// ping-pong timing.
+
+// EchoProtocolName is the registered name of the benchmark protocol.
+const EchoProtocolName = "org.ict.mpid.EchoProtocol"
+
+// EchoProtocolVersion is its VersionedProtocol version.
+const EchoProtocolVersion int64 = 1
+
+// NewEchoProtocol builds the benchmark protocol: recv(data) checks the size
+// and returns the data to the invoker.
+func NewEchoProtocol() *Protocol {
+	return &Protocol{
+		Name:    EchoProtocolName,
+		Version: EchoProtocolVersion,
+		Methods: map[string]Handler{
+			"recv": func(params [][]byte) ([]byte, error) {
+				if len(params) != 1 {
+					return nil, fmt.Errorf("recv wants 1 parameter, got %d", len(params))
+				}
+				// "only checks the received data size":
+				if params[0] == nil {
+					return []byte{}, nil
+				}
+				return params[0], nil
+			},
+		},
+	}
+}

@@ -1,0 +1,6 @@
+package hadooprpc
+
+import "net"
+
+// rawDial is a test helper giving access to a raw connection.
+func rawDial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }

@@ -1,0 +1,159 @@
+package hadooprpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// MuxClient is the multiplexing RPC client: many goroutines share one
+// connection, calls are matched to responses by call id — the behaviour of
+// Hadoop's ipc.Client, where all threads of a tasktracker funnel through
+// one connection per (address, protocol) pair. Note what multiplexing does
+// NOT buy: the server processes a connection's calls serially and responses
+// return in submission order, so bulk-payload calls still queue behind each
+// other. The bandwidth pathology of Figure 3 is unchanged; only small
+// control calls benefit from sharing.
+type MuxClient struct {
+	protocol string
+	conn     net.Conn
+	w        *bufio.Writer
+
+	mu      sync.Mutex // guards writes, id allocation, pending, closed
+	nextID  int32
+	pending map[int32]chan muxResult
+	closed  bool
+	readErr error
+}
+
+type muxResult struct {
+	value []byte
+	err   error
+}
+
+// DialMux connects, sends the connection header and performs the
+// VersionedProtocol handshake, returning a client safe for concurrent use.
+func DialMux(addr, protocol string, version int64) (*MuxClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &MuxClient{
+		protocol: protocol,
+		conn:     conn,
+		w:        bufio.NewWriterSize(conn, 64*1024),
+		pending:  make(map[int32]chan muxResult),
+	}
+	if _, err := c.w.WriteString(headerMagic); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.w.WriteByte(headerVersion); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+
+	var ver [8]byte
+	binary.BigEndian.PutUint64(ver[:], uint64(version))
+	got, err := c.Call(getProtocolVersionMethod, ver[:])
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("hadooprpc: handshake: %w", err)
+	}
+	if len(got) != 8 || int64(binary.BigEndian.Uint64(got)) != version {
+		c.Close()
+		return nil, ErrVersionMismatch
+	}
+	return c, nil
+}
+
+// readLoop delivers responses to their waiting callers by call id.
+func (c *MuxClient) readLoop() {
+	r := bufio.NewReaderSize(c.conn, 64*1024)
+	for {
+		id, value, err := readResponse(r)
+		if err != nil && !isRemoteError(err) {
+			// Connection-level failure: fail every pending call.
+			c.mu.Lock()
+			c.readErr = err
+			for cid, ch := range c.pending {
+				ch <- muxResult{err: err}
+				delete(c.pending, cid)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ok {
+			ch <- muxResult{value: value, err: err}
+		}
+	}
+}
+
+// isRemoteError distinguishes a per-call remote error (connection remains
+// usable) from a transport failure.
+func isRemoteError(err error) bool {
+	return err != nil && errors.Is(err, errRemote)
+}
+
+// Call invokes method with the given parameters; it is safe to call from
+// many goroutines at once.
+func (c *MuxClient) Call(method string, params ...[]byte) ([]byte, error) {
+	ch := make(chan muxResult, 1)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("hadooprpc: client closed")
+	}
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = ch
+	frame, err := encodeCall(id, c.protocol, method, params)
+	if err == nil {
+		_, err = c.w.Write(frame)
+		if err == nil {
+			err = c.w.Flush()
+		}
+	}
+	if err != nil {
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.mu.Unlock()
+
+	res := <-ch
+	return res.value, res.err
+}
+
+// Close tears the connection down; pending calls fail.
+func (c *MuxClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -1,0 +1,657 @@
+// Package hadoopsim simulates Hadoop 0.20 MapReduce on the modelled
+// cluster, reproducing the mechanisms behind the paper's §II.A
+// measurements (Figure 1 and Table I) and the Hadoop side of Figure 6:
+//
+//   - HDFS-style block placement: one map task per 64 MB block, data-local;
+//   - jobtracker scheduling over heartbeats: a tasktracker receives at most
+//     one map and one reduce task per 3-second heartbeat (the 0.20
+//     behaviour), with reduce slow-start after a fraction of maps finish;
+//   - per-task JVM startup cost;
+//   - the shuffle copy stage: every reduce task fetches its partition from
+//     every map output over the Jetty data path — each fetch is a small
+//     random disk read at the source plus an HTTP transfer, so total fetch
+//     count grows as maps x reduces while fetch size shrinks, which is what
+//     turns shuffle seek- and contention-bound at scale and drives the copy
+//     share of Table I from ~35-45% at 1 GB to ~70-83% at 150 GB;
+//   - merge/sort and the reduce phase proper.
+//
+// The per-reducer copy/sort/reduce statistics the simulator records are the
+// series Figure 1 plots; the paper's observation that 56 (= 7 nodes x 8
+// slots) first-wave reducers sit near the total map-phase duration falls
+// out of the model: those reducers hold slots from the start and their
+// copy clock runs while they wait for map outputs to exist.
+package hadoopsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ict-repro/mpid/internal/cluster"
+	"github.com/ict-repro/mpid/internal/des"
+	"github.com/ict-repro/mpid/internal/netmodel"
+	"github.com/ict-repro/mpid/internal/stats"
+)
+
+// Params configures one simulated job.
+type Params struct {
+	// Cluster is the hardware model; Default() matches the paper.
+	Cluster cluster.Config
+	// InputBytes is the job input size.
+	InputBytes int64
+	// BlockSize is the HDFS block size (default 64 MB, the paper's value).
+	BlockSize int64
+	// NumReduceTasks is the reduce task count; 0 means one per map task,
+	// GridMix JavaSort's data-proportional setting (the paper's 150 GB run
+	// shows 2345 reducers against 2400 blocks).
+	NumReduceTasks int
+	// MaxMapSlots and MaxReduceSlots are per-node concurrency limits, the
+	// Table I configuration axis (4/2, 4/4, 8/8, 16/16).
+	MaxMapSlots, MaxReduceSlots int
+
+	// MapCPUBytesPerSec is the per-core throughput of the map function
+	// including the collect/sort/spill machinery.
+	MapCPUBytesPerSec float64
+	// ReduceCPUBytesPerSec is the per-core reduce function throughput.
+	ReduceCPUBytesPerSec float64
+	// MapSelectivity is map output bytes per input byte (after the
+	// combiner): 1.0 for JavaSort, small for WordCount.
+	MapSelectivity float64
+	// ReduceSelectivity is reduce output bytes per reduce input byte.
+	ReduceSelectivity float64
+
+	// TaskStartup is the per-task JVM spawn cost.
+	TaskStartup des.Time
+	// JobSetup is the fixed job submission/initialization cost.
+	JobSetup des.Time
+	// Heartbeat is the tasktracker heartbeat interval (3 s in 0.20).
+	Heartbeat des.Time
+	// SlowstartFraction is the completed-maps fraction before reducers
+	// launch (mapred.reduce.slowstart default 0.05).
+	SlowstartFraction float64
+	// CopierThreads bounds a reducer's parallel fetches (default 5).
+	CopierThreads int
+	// FetchHTTPLatency is the per-fetch Jetty request overhead.
+	FetchHTTPLatency des.Time
+	// SortFixed is the post-copy "sort" phase the paper measures at
+	// ~0.0102 s (the merge already happened during copy).
+	SortFixed des.Time
+	// InMemoryMergeLimit is the largest reduce input merged in memory;
+	// bigger inputs are re-read from disk before the reduce phase
+	// (mapred.job.shuffle.merge.percent behaviour, coarsely).
+	InMemoryMergeLimit int64
+	// PageCacheBytes is the OS page cache available per node for map
+	// outputs. While a node's outputs fit, shuffle fetches are served
+	// from memory and pay no seeks; beyond it, the uncached fraction
+	// pays the full random-read cost. This is the mechanism behind Table
+	// I's jump between 27 GB (cached, copy ~36-48%) and 81+ GB
+	// (disk-bound, copy ~60-83%). Default 8 GB of the 16 GB nodes.
+	PageCacheBytes int64
+
+	// Seed drives deterministic per-task jitter; JitterFrac is the +/-
+	// fraction applied to startup and CPU times.
+	Seed       int64
+	JitterFrac float64
+
+	// Speculative enables speculative execution of straggling map tasks
+	// (mapred.map.tasks.speculative.execution): once no fresh tasks
+	// remain, a tracker with an idle slot duplicates a running task that
+	// has exceeded SpeculativeFactor x the mean completed duration; the
+	// first attempt to finish wins and the loser is killed.
+	Speculative bool
+	// SpeculativeFactor is the straggler threshold (default 1.5).
+	SpeculativeFactor float64
+	// SlowNode injects a straggler: tasks on worker SlowNode-1 run their
+	// CPU phase SlowNodeFactor times slower — a failing disk or a
+	// co-tenant hog, the situations speculation exists for. 0 disables
+	// injection (the field is 1-based so the zero value is "none").
+	SlowNode       int
+	SlowNodeFactor float64
+}
+
+// withDefaults fills zero fields.
+func (p Params) withDefaults() Params {
+	if p.Cluster.Nodes == 0 {
+		p.Cluster = cluster.Default()
+	}
+	if p.BlockSize == 0 {
+		p.BlockSize = 64 * netmodel.MB
+	}
+	if p.MaxMapSlots == 0 {
+		p.MaxMapSlots = 8
+	}
+	if p.MaxReduceSlots == 0 {
+		p.MaxReduceSlots = 8
+	}
+	if p.MapCPUBytesPerSec == 0 {
+		p.MapCPUBytesPerSec = 12e6
+	}
+	if p.ReduceCPUBytesPerSec == 0 {
+		p.ReduceCPUBytesPerSec = 30e6
+	}
+	if p.MapSelectivity == 0 {
+		p.MapSelectivity = 1.0
+	}
+	if p.TaskStartup == 0 {
+		p.TaskStartup = des.FromSeconds(1.5)
+	}
+	if p.JobSetup == 0 {
+		p.JobSetup = des.FromSeconds(5)
+	}
+	if p.Heartbeat == 0 {
+		p.Heartbeat = des.FromSeconds(3)
+	}
+	if p.SlowstartFraction == 0 {
+		p.SlowstartFraction = 0.05
+	}
+	if p.CopierThreads == 0 {
+		p.CopierThreads = 5
+	}
+	if p.FetchHTTPLatency == 0 {
+		p.FetchHTTPLatency = netmodel.Jetty().Latency(0)
+	}
+	if p.SortFixed == 0 {
+		p.SortFixed = des.FromSeconds(0.0102)
+	}
+	if p.InMemoryMergeLimit == 0 {
+		p.InMemoryMergeLimit = 100 * netmodel.MB
+	}
+	if p.PageCacheBytes == 0 {
+		p.PageCacheBytes = 8 * netmodel.GB
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = 0.2
+	}
+	if p.SpeculativeFactor == 0 {
+		p.SpeculativeFactor = 1.5
+	}
+	if p.SlowNodeFactor == 0 {
+		p.SlowNodeFactor = 3
+	}
+	return p
+}
+
+// JavaSort returns the GridMix JavaSort workload of §II.A on the paper's
+// cluster: identity map/reduce over 100-byte records, selectivity 1, reduce
+// tasks proportional to input.
+func JavaSort(inputBytes int64, maxMap, maxReduce int) Params {
+	p := Params{
+		InputBytes:     inputBytes,
+		MaxMapSlots:    maxMap,
+		MaxReduceSlots: maxReduce,
+		// Sorting 64 MB of 100-byte records in the 0.20 map-side
+		// collect/spill path.
+		MapCPUBytesPerSec:    12e6,
+		ReduceCPUBytesPerSec: 15e6,
+		MapSelectivity:       1.0,
+		ReduceSelectivity:    1.0,
+	}
+	return p.withDefaults()
+}
+
+// WordCount returns the §IV.C Hadoop WordCount workload: text tokenization
+// with a combiner, 7/7 slots, a single reduce task (as the paper's
+// experiment configures), heavy per-record CPU.
+func WordCount(inputBytes int64) Params {
+	p := Params{
+		InputBytes:     inputBytes,
+		MaxMapSlots:    7,
+		MaxReduceSlots: 7,
+		NumReduceTasks: 1,
+		// Java text tokenization + per-word object churn + combiner +
+		// spill sort: low per-core throughput.
+		MapCPUBytesPerSec:    1.5e6,
+		ReduceCPUBytesPerSec: 20e6,
+		// The combiner collapses each spill to roughly the vocabulary.
+		MapSelectivity:    0.05,
+		ReduceSelectivity: 0.1,
+	}
+	return p.withDefaults()
+}
+
+// MapStat records one map task.
+type MapStat struct {
+	Task       int
+	Node       int
+	Start, End des.Time
+}
+
+// Duration returns the task's wall time.
+func (m MapStat) Duration() des.Time { return m.End - m.Start }
+
+// ReduceStat records one reduce task, split into the phases Figure 1 plots.
+type ReduceStat struct {
+	Task       int
+	Node       int
+	Start, End des.Time
+	// Copy is the shuffle copy stage: from task start to the last map
+	// output fetched — the quantity the paper measures from Hadoop logs.
+	Copy des.Time
+	// Sort is the post-copy merge accounting phase.
+	Sort des.Time
+	// Reduce is the user reduce phase.
+	Reduce des.Time
+	// FirstWave marks reducers launched before the map phase ended; the
+	// paper deletes these 56 stragglers from Figure 1.
+	FirstWave bool
+}
+
+// Duration returns the task's wall time.
+func (r ReduceStat) Duration() des.Time { return r.End - r.Start }
+
+// Report is the outcome of one simulated job.
+type Report struct {
+	Params      Params
+	NumMaps     int
+	NumReduces  int
+	JobTime     des.Time
+	MapPhaseEnd des.Time
+	Maps        []MapStat
+	Reduces     []ReduceStat
+	// Speculated counts duplicate map attempts launched (speculative
+	// execution enabled).
+	Speculated int
+}
+
+// CopyPercent returns Table I's metric: the sum of all copy-stage time
+// divided by the sum of all mapper and reducer task execution time.
+func (r *Report) CopyPercent() float64 {
+	var copySum, total float64
+	for _, m := range r.Maps {
+		total += m.Duration().Seconds()
+	}
+	for _, rd := range r.Reduces {
+		total += rd.Duration().Seconds()
+		copySum += rd.Copy.Seconds()
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * copySum / total
+}
+
+// CopySummary returns the copy-stage distribution over non-first-wave
+// reducers, the population Figure 1 plots.
+func (r *Report) CopySummary() *stats.Summary {
+	var s stats.Summary
+	for _, rd := range r.Reduces {
+		if !rd.FirstWave {
+			s.AddDuration(rd.Copy)
+		}
+	}
+	return &s
+}
+
+// ReduceSummary returns the reduce-stage distribution over non-first-wave
+// reducers.
+func (r *Report) ReduceSummary() *stats.Summary {
+	var s stats.Summary
+	for _, rd := range r.Reduces {
+		if !rd.FirstWave {
+			s.AddDuration(rd.Reduce)
+		}
+	}
+	return &s
+}
+
+// SortSummary returns the sort-stage distribution.
+func (r *Report) SortSummary() *stats.Summary {
+	var s stats.Summary
+	for _, rd := range r.Reduces {
+		if !rd.FirstWave {
+			s.AddDuration(rd.Sort)
+		}
+	}
+	return &s
+}
+
+// FirstWaveCount returns the number of first-wave (straggler) reducers.
+func (r *Report) FirstWaveCount() int {
+	n := 0
+	for _, rd := range r.Reduces {
+		if rd.FirstWave {
+			n++
+		}
+	}
+	return n
+}
+
+// Run simulates the job to completion and returns the report.
+func Run(p Params) *Report {
+	p = p.withDefaults()
+	if p.InputBytes <= 0 {
+		panic(fmt.Sprintf("hadoopsim: InputBytes must be positive, got %d", p.InputBytes))
+	}
+	sim := newSim(p)
+	sim.run()
+	return sim.report
+}
+
+// sim is the running state of one job simulation.
+type sim struct {
+	p       Params
+	eng     *des.Engine
+	cl      *cluster.Cluster
+	workers []*cluster.Node // node 0 is the master, as in the paper
+	rng     *rand.Rand
+
+	numMaps    int
+	numReduces int
+	partBytes  int64 // per (map, reduce) partition size
+
+	nextMap    int
+	nextReduce int
+
+	completedMaps   int
+	completedByNode []int // per worker index
+	mapProgress     *des.Signal
+	mapPhaseEnd     des.Time
+
+	// Speculation state.
+	mapTaskDone  []bool           // winner recorded per task
+	mapRunning   map[int]des.Time // task -> earliest attempt start
+	mapDup       map[int]bool     // task already duplicated
+	doneDurSum   float64          // completed map durations (seconds)
+	doneDurCount int
+	speculated   int // duplicates launched (for tests/reporting)
+
+	mapsDone    int
+	reducesDone int
+
+	// seekFactor is the uncached fraction of map outputs per node: the
+	// share of shuffle fetches that pay a real disk seek.
+	seekFactor float64
+
+	report *Report
+}
+
+func newSim(p Params) *sim {
+	eng := des.New()
+	cl := cluster.New(eng, p.Cluster)
+	numMaps := int((p.InputBytes + p.BlockSize - 1) / p.BlockSize)
+	numReduces := p.NumReduceTasks
+	if numReduces <= 0 {
+		numReduces = numMaps
+	}
+	mapOut := int64(float64(p.BlockSize) * p.MapSelectivity)
+	part := mapOut / int64(numReduces)
+	if part < 1 {
+		part = 1
+	}
+	s := &sim{
+		p:               p,
+		eng:             eng,
+		cl:              cl,
+		workers:         cl.Nodes[1:],
+		rng:             rand.New(rand.NewSource(p.Seed + 1)),
+		numMaps:         numMaps,
+		numReduces:      numReduces,
+		partBytes:       part,
+		completedByNode: make([]int, len(cl.Nodes)-1),
+		mapProgress:     des.NewSignal(eng),
+		mapTaskDone:     make([]bool, numMaps),
+		mapRunning:      make(map[int]des.Time),
+		mapDup:          make(map[int]bool),
+	}
+	outputPerNode := float64(p.InputBytes) * p.MapSelectivity / float64(len(cl.Nodes)-1)
+	if outputPerNode > float64(p.PageCacheBytes) {
+		s.seekFactor = 1 - float64(p.PageCacheBytes)/outputPerNode
+	}
+	s.report = &Report{
+		Params:     p,
+		NumMaps:    numMaps,
+		NumReduces: numReduces,
+		Maps:       make([]MapStat, 0, numMaps),
+		Reduces:    make([]ReduceStat, 0, numReduces),
+	}
+	return s
+}
+
+// jitter returns a deterministic multiplicative factor in [1-J, 1+J].
+func (s *sim) jitter() float64 {
+	j := s.p.JitterFrac
+	return 1 - j + 2*j*s.rng.Float64()
+}
+
+func (s *sim) run() {
+	for wi := range s.workers {
+		wi := wi
+		s.eng.GoAt(s.p.JobSetup, fmt.Sprintf("tracker-%d", wi), func(p *des.Proc) {
+			s.tracker(p, wi)
+		})
+	}
+	s.eng.Run()
+	if s.mapsDone != s.numMaps || s.reducesDone != s.numReduces {
+		panic(fmt.Sprintf("hadoopsim: job ended with %d/%d maps, %d/%d reduces",
+			s.mapsDone, s.numMaps, s.reducesDone, s.numReduces))
+	}
+	// The engine clock stops at the last completion event: job end.
+	s.report.JobTime = s.eng.Now()
+	s.report.MapPhaseEnd = s.mapPhaseEnd
+	s.report.Speculated = s.speculated
+}
+
+// tracker is one tasktracker's heartbeat loop: at most one map and one
+// reduce assignment per beat, as in Hadoop 0.20.
+func (s *sim) tracker(p *des.Proc, wi int) {
+	node := s.workers[wi]
+	mapSlots := des.NewResource(s.eng, fmt.Sprintf("map-slots-%d", wi), s.p.MaxMapSlots)
+	reduceSlots := des.NewResource(s.eng, fmt.Sprintf("reduce-slots-%d", wi), s.p.MaxReduceSlots)
+	for {
+		mapsExhausted := s.nextMap >= s.numMaps &&
+			(!s.p.Speculative || s.completedMaps >= s.numMaps)
+		if mapsExhausted && s.nextReduce >= s.numReduces {
+			return
+		}
+		// One map assignment per heartbeat.
+		if s.nextMap < s.numMaps && mapSlots.InUse() < mapSlots.Capacity() {
+			task := s.nextMap
+			s.nextMap++
+			s.mapRunning[task] = s.eng.Now()
+			mapSlots.Acquire(p, 1)
+			s.eng.Go(fmt.Sprintf("map-%d", task), func(tp *des.Proc) {
+				s.mapTask(tp, task, node)
+				mapSlots.Release(1)
+			})
+		} else if s.p.Speculative && s.nextMap >= s.numMaps &&
+			mapSlots.InUse() < mapSlots.Capacity() {
+			// No fresh work: duplicate one straggling attempt.
+			if task, ok := s.pickStraggler(); ok {
+				s.mapDup[task] = true
+				s.speculated++
+				mapSlots.Acquire(p, 1)
+				s.eng.Go(fmt.Sprintf("map-%d-spec", task), func(tp *des.Proc) {
+					s.mapTask(tp, task, node)
+					mapSlots.Release(1)
+				})
+			}
+		}
+		// One reduce assignment per heartbeat, after slow-start.
+		slowstartMet := float64(s.completedMaps) >= s.p.SlowstartFraction*float64(s.numMaps)
+		if s.nextReduce < s.numReduces && slowstartMet && reduceSlots.InUse() < reduceSlots.Capacity() {
+			task := s.nextReduce
+			s.nextReduce++
+			reduceSlots.Acquire(p, 1)
+			s.eng.Go(fmt.Sprintf("reduce-%d", task), func(tp *des.Proc) {
+				s.reduceTask(tp, task, node, wi)
+				reduceSlots.Release(1)
+			})
+		}
+		p.Sleep(s.p.Heartbeat)
+	}
+}
+
+// pickStraggler returns a running, not-yet-duplicated task whose runtime
+// exceeds SpeculativeFactor x the mean completed duration.
+func (s *sim) pickStraggler() (int, bool) {
+	if s.doneDurCount == 0 {
+		return 0, false
+	}
+	threshold := s.p.SpeculativeFactor * s.doneDurSum / float64(s.doneDurCount)
+	best, bestAge := -1, 0.0
+	for task, started := range s.mapRunning {
+		if s.mapDup[task] || s.mapTaskDone[task] {
+			continue
+		}
+		age := (s.eng.Now() - started).Seconds()
+		if age > threshold && age > bestAge {
+			best, bestAge = task, age
+		}
+	}
+	return best, best >= 0
+}
+
+// cpuRate returns the map CPU throughput on a node, honouring straggler
+// injection.
+func (s *sim) cpuRate(node *cluster.Node) float64 {
+	rate := s.p.MapCPUBytesPerSec
+	if s.p.SlowNode > 0 && s.workerIndexOf(node) == s.p.SlowNode-1 {
+		rate /= s.p.SlowNodeFactor
+	}
+	return rate
+}
+
+// mapTask simulates one map task attempt: JVM start, block read,
+// map+collect CPU, output write. With speculation, a losing attempt
+// observes the winner at phase boundaries and aborts (the kill signal).
+func (s *sim) mapTask(p *des.Proc, task int, node *cluster.Node) {
+	start := p.Now()
+	jit := s.jitter()
+	p.Sleep(des.FromSeconds(s.p.TaskStartup.Seconds() * jit))
+	if s.mapTaskDone[task] {
+		return // killed: the other attempt won during startup
+	}
+
+	bytes := s.blockBytes(task)
+	node.ReadStream(p, bytes)
+	if s.mapTaskDone[task] {
+		return
+	}
+	node.Compute(p, bytes, s.cpuRate(node)/jit)
+	if s.mapTaskDone[task] {
+		return
+	}
+	out := int64(float64(bytes) * s.p.MapSelectivity)
+	node.WriteStream(p, out)
+	if s.mapTaskDone[task] {
+		return
+	}
+
+	// This attempt wins the task.
+	s.mapTaskDone[task] = true
+	delete(s.mapRunning, task)
+	dur := (p.Now() - start).Seconds()
+	s.doneDurSum += dur
+	s.doneDurCount++
+
+	wi := s.workerIndexOf(node)
+	s.completedMaps++
+	s.completedByNode[wi]++
+	if s.completedMaps == s.numMaps {
+		s.mapPhaseEnd = p.Now()
+	}
+	s.mapProgress.Fire()
+	s.report.Maps = append(s.report.Maps, MapStat{Task: task, Node: node.ID, Start: start, End: p.Now()})
+	s.taskFinished(true)
+}
+
+// blockBytes returns the size of the task's block (the last may be short).
+func (s *sim) blockBytes(task int) int64 {
+	if task == s.numMaps-1 {
+		if rem := s.p.InputBytes % s.p.BlockSize; rem != 0 {
+			return rem
+		}
+	}
+	return s.p.BlockSize
+}
+
+func (s *sim) workerIndexOf(node *cluster.Node) int { return node.ID - 1 }
+
+// reduceTask simulates one reduce task: copy (fetch from all maps as they
+// complete), sort, reduce.
+func (s *sim) reduceTask(p *des.Proc, task int, node *cluster.Node, wi int) {
+	start := p.Now()
+	firstWave := s.completedMaps < s.numMaps
+	jit := s.jitter()
+	p.Sleep(des.FromSeconds(s.p.TaskStartup.Seconds() * jit))
+
+	// Copy stage: fetch this task's partition from every map output.
+	cursor := make([]int, len(s.workers))
+	fetched := 0
+	for fetched < s.numMaps {
+		var latches []*des.Done
+		progressed := false
+		for si := range s.workers {
+			k := s.completedByNode[si] - cursor[si]
+			if k <= 0 {
+				continue
+			}
+			cursor[si] += k
+			fetched += k
+			progressed = true
+			latches = append(latches, s.fetch(si, wi, k))
+		}
+		if len(latches) > 0 {
+			des.WaitAll(p, latches...)
+		}
+		if fetched < s.numMaps && !progressed {
+			s.mapProgress.Wait(p)
+		}
+	}
+	copyEnd := p.Now()
+
+	// Sort stage: the final merge bookkeeping Hadoop's logs time at ~10 ms.
+	p.Sleep(s.p.SortFixed)
+	sortEnd := p.Now()
+
+	// Reduce stage: run the reduce function over the merged partition
+	// (re-read from disk only when it exceeded the in-memory merge
+	// buffer), write the output.
+	totalIn := s.partBytes * int64(s.numMaps)
+	if totalIn > s.p.InMemoryMergeLimit {
+		node.ReadStream(p, totalIn)
+	}
+	node.Compute(p, totalIn, s.p.ReduceCPUBytesPerSec/jit)
+	node.WriteStream(p, int64(float64(totalIn)*s.p.ReduceSelectivity))
+	end := p.Now()
+
+	s.report.Reduces = append(s.report.Reduces, ReduceStat{
+		Task: task, Node: node.ID,
+		Start: start, End: end,
+		Copy:      copyEnd - start,
+		Sort:      sortEnd - copyEnd,
+		Reduce:    end - sortEnd,
+		FirstWave: firstWave,
+	})
+	s.taskFinished(false)
+}
+
+// fetch models copying k map outputs' partitions from source worker si to
+// destination worker wi: a random read at the source (k seeks), the HTTP
+// transfer, the local merge write, and per-request servlet latency
+// amortized over the copier threads. It returns a completion latch so
+// fetches from different sources overlap, as the parallel copiers do.
+func (s *sim) fetch(si, wi, k int) *des.Done {
+	done := des.NewDone(s.eng)
+	src, dst := s.workers[si], s.workers[wi]
+	bytes := int64(k) * s.partBytes
+	// Only the uncached fraction of fetches seeks on the source disk.
+	seeks := int(float64(k) * s.seekFactor)
+	s.eng.Go(fmt.Sprintf("fetch-%d->%d", si, wi), func(p *des.Proc) {
+		src.ReadRandom(p, bytes, seeks)
+		s.cl.Transfer(p, src, dst, bytes)
+		dst.WriteStream(p, bytes)
+		lat := s.p.FetchHTTPLatency.Seconds() * float64(k) / float64(s.p.CopierThreads)
+		p.Sleep(des.FromSeconds(lat))
+		done.Complete()
+	})
+	return done
+}
+
+// taskFinished tracks completion of the whole job.
+func (s *sim) taskFinished(isMap bool) {
+	if isMap {
+		s.mapsDone++
+	} else {
+		s.reducesDone++
+	}
+}

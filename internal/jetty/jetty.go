@@ -1,0 +1,306 @@
+// Package jetty reimplements Hadoop's embedded-Jetty HTTP data path: the
+// map-output servlet that tasktrackers run and reducers fetch intermediate
+// data from during the copy stage of shuffle (§II.B of the paper), plus the
+// streaming endpoint its bandwidth benchmark uses.
+//
+// It is built on net/http, which plays the role Jetty plays inside Hadoop:
+// an embedded HTTP server. The shuffle protocol follows the 0.20
+// MapOutputServlet: outputs are addressed by (job, map, reduce), responses
+// carry the map-output length headers, and bodies stream in configurable
+// write chunks — streaming is why the paper measures Jetty within 2-3% of
+// MPI peak bandwidth while Hadoop RPC sits two orders of magnitude below.
+package jetty
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Header names mirroring the 0.20 shuffle.
+const (
+	// HeaderMapOutputLength carries the payload size.
+	HeaderMapOutputLength = "X-Map-Output-Length"
+	// HeaderForReduce echoes the reduce id the output was partitioned for.
+	HeaderForReduce = "X-For-Reduce"
+)
+
+// OutputKey addresses one map output partition.
+type OutputKey struct {
+	Job    string
+	Map    int
+	Reduce int
+}
+
+// Store holds map outputs a server can serve. It is safe for concurrent
+// use: mappers put while reducers fetch.
+type Store struct {
+	mu   sync.RWMutex
+	data map[OutputKey][]byte
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{data: make(map[OutputKey][]byte)}
+}
+
+// Put registers the output of one (job, map) for one reduce. The store
+// keeps a reference; the caller must not modify data afterwards.
+func (s *Store) Put(key OutputKey, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[key] = data
+}
+
+// Get returns the stored output and whether it exists.
+func (s *Store) Get(key OutputKey) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.data[key]
+	return d, ok
+}
+
+// Delete removes an output (job cleanup).
+func (s *Store) Delete(key OutputKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+}
+
+// Len returns the number of stored outputs.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Server is the embedded HTTP server a tasktracker would run.
+type Server struct {
+	store *Store
+	// WriteChunk is the servlet's output buffer size: the body is written
+	// in chunks of this many bytes (Hadoop uses a 64 KB buffer). The
+	// bandwidth experiment sweeps it.
+	WriteChunk int
+
+	httpSrv *http.Server
+	ln      net.Listener
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// NewServer creates a server over the given store.
+func NewServer(store *Store) *Server {
+	return &Server{store: store, WriteChunk: 64 * 1024}
+}
+
+// Listen binds to addr and starts serving; it returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/mapOutput", s.handleMapOutput)
+	mux.HandleFunc("/stream", s.handleStream)
+	srv := &http.Server{Handler: mux}
+	s.mu.Lock()
+	s.ln, s.httpSrv = ln, srv
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		srv.Serve(ln) // returns on Close
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	srv := s.httpSrv
+	s.mu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handleMapOutput serves one stored map output, the MapOutputServlet path.
+func (s *Server) handleMapOutput(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	mapID, err1 := strconv.Atoi(q.Get("map"))
+	reduceID, err2 := strconv.Atoi(q.Get("reduce"))
+	job := q.Get("job")
+	if err1 != nil || err2 != nil || job == "" {
+		http.Error(w, "jetty: bad mapOutput query", http.StatusBadRequest)
+		return
+	}
+	data, ok := s.store.Get(OutputKey{Job: job, Map: mapID, Reduce: reduceID})
+	if !ok {
+		http.Error(w, "jetty: no such map output", http.StatusGone)
+		return
+	}
+	w.Header().Set(HeaderMapOutputLength, strconv.Itoa(len(data)))
+	w.Header().Set(HeaderForReduce, strconv.Itoa(reduceID))
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	s.writeChunked(w, data)
+}
+
+// handleStream serves size synthetic bytes, the §II.B bandwidth endpoint.
+// Optional "chunk" overrides the server write size for the sweep.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	size, err := strconv.ParseInt(r.URL.Query().Get("size"), 10, 64)
+	if err != nil || size < 0 {
+		http.Error(w, "jetty: bad stream size", http.StatusBadRequest)
+		return
+	}
+	chunk := s.WriteChunk
+	if c := r.URL.Query().Get("chunk"); c != "" {
+		if v, err := strconv.Atoi(c); err == nil && v > 0 {
+			chunk = v
+		}
+	}
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	buf := make([]byte, chunk)
+	for i := range buf {
+		buf[i] = byte('a' + i%26)
+	}
+	remaining := size
+	for remaining > 0 {
+		n := int64(len(buf))
+		if n > remaining {
+			n = remaining
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return
+		}
+		remaining -= n
+	}
+}
+
+// writeChunked writes data in WriteChunk-sized pieces, mirroring the
+// servlet's buffered copy loop.
+func (s *Server) writeChunked(w io.Writer, data []byte) {
+	chunk := s.WriteChunk
+	if chunk <= 0 {
+		chunk = 64 * 1024
+	}
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := w.Write(data[off:end]); err != nil {
+			return
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Client: the reducer-side copier.
+
+// Client fetches map outputs over HTTP, as a reduce task's copier threads
+// do. ReadChunk controls the read buffer size (the client half of the
+// packet-size sweep).
+type Client struct {
+	http      *http.Client
+	ReadChunk int
+}
+
+// NewClient creates a copier client with connection reuse enabled.
+func NewClient() *Client {
+	return &Client{
+		http: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		},
+		ReadChunk: 64 * 1024,
+	}
+}
+
+// FetchMapOutput retrieves one map output from a server.
+func (c *Client) FetchMapOutput(addr string, key OutputKey) ([]byte, error) {
+	url := fmt.Sprintf("http://%s/mapOutput?job=%s&map=%d&reduce=%d",
+		addr, key.Job, key.Map, key.Reduce)
+	return c.fetch(url)
+}
+
+// FetchStream retrieves size bytes from the bandwidth endpoint with the
+// given server-side chunk size, discarding the body and returning the byte
+// count read.
+func (c *Client) FetchStream(addr string, size int64, chunk int) (int64, error) {
+	url := fmt.Sprintf("http://%s/stream?size=%d&chunk=%d", addr, size, chunk)
+	resp, err := c.http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("jetty: stream status %s", resp.Status)
+	}
+	buf := make([]byte, c.readChunk())
+	var total int64
+	for {
+		n, err := resp.Body.Read(buf)
+		total += int64(n)
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+func (c *Client) readChunk() int {
+	if c.ReadChunk <= 0 {
+		return 64 * 1024
+	}
+	return c.ReadChunk
+}
+
+func (c *Client) fetch(url string) ([]byte, error) {
+	resp, err := c.http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("jetty: fetch status %s", resp.Status)
+	}
+	want := int64(-1)
+	if h := resp.Header.Get(HeaderMapOutputLength); h != "" {
+		if v, err := strconv.ParseInt(h, 10, 64); err == nil {
+			want = v
+		}
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if want >= 0 && int64(len(data)) != want {
+		return nil, fmt.Errorf("jetty: got %d bytes, header said %d", len(data), want)
+	}
+	return data, nil
+}
+
+// Close releases idle connections.
+func (c *Client) Close() {
+	if t, ok := c.http.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}

@@ -1,0 +1,167 @@
+package jetty
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func startServer(t *testing.T) (*Store, *Server, string) {
+	t.Helper()
+	store := NewStore()
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return store, srv, addr
+}
+
+func TestFetchMapOutput(t *testing.T) {
+	store, _, addr := startServer(t)
+	key := OutputKey{Job: "job_1", Map: 3, Reduce: 0}
+	payload := bytes.Repeat([]byte("intermediate "), 1000)
+	store.Put(key, payload)
+
+	c := NewClient()
+	defer c.Close()
+	got, err := c.FetchMapOutput(addr, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("fetched %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+func TestFetchMissingOutputFails(t *testing.T) {
+	_, _, addr := startServer(t)
+	c := NewClient()
+	defer c.Close()
+	if _, err := c.FetchMapOutput(addr, OutputKey{Job: "none", Map: 0, Reduce: 0}); err == nil {
+		t.Fatal("fetch of missing output succeeded")
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	k := OutputKey{Job: "j", Map: 1, Reduce: 2}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("empty store returned data")
+	}
+	s.Put(k, []byte("x"))
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if d, ok := s.Get(k); !ok || string(d) != "x" {
+		t.Fatalf("Get = %q, %v", d, ok)
+	}
+	s.Delete(k)
+	if s.Len() != 0 {
+		t.Fatal("Delete did not remove")
+	}
+}
+
+func TestEmptyMapOutput(t *testing.T) {
+	store, _, addr := startServer(t)
+	key := OutputKey{Job: "j", Map: 0, Reduce: 5}
+	store.Put(key, nil)
+	c := NewClient()
+	defer c.Close()
+	got, err := c.FetchMapOutput(addr, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty output fetched as %d bytes", len(got))
+	}
+}
+
+func TestSmallWriteChunkStillCorrect(t *testing.T) {
+	store, srv, addr := startServer(t)
+	srv.WriteChunk = 7 // pathological chunking must not corrupt data
+	key := OutputKey{Job: "j", Map: 1, Reduce: 1}
+	payload := []byte("0123456789abcdefghij")
+	store.Put(key, payload)
+	c := NewClient()
+	defer c.Close()
+	got, err := c.FetchMapOutput(addr, key)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("got %q err %v", got, err)
+	}
+}
+
+func TestStreamEndpointExactSize(t *testing.T) {
+	_, _, addr := startServer(t)
+	c := NewClient()
+	defer c.Close()
+	for _, size := range []int64{0, 1, 1000, 1 << 20} {
+		n, err := c.FetchStream(addr, size, 4096)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if n != size {
+			t.Fatalf("size %d: read %d bytes", size, n)
+		}
+	}
+}
+
+func TestStreamRejectsBadQuery(t *testing.T) {
+	_, _, addr := startServer(t)
+	c := NewClient()
+	defer c.Close()
+	if _, err := c.FetchStream(addr, -5, 4096); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestConcurrentFetches(t *testing.T) {
+	// The copy stage is multi-threaded: many reducers fetch concurrently.
+	store, _, addr := startServer(t)
+	const maps, reduces = 4, 4
+	for m := 0; m < maps; m++ {
+		for r := 0; r < reduces; r++ {
+			key := OutputKey{Job: "j", Map: m, Reduce: r}
+			store.Put(key, []byte(fmt.Sprintf("m%d-r%d", m, r)))
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, maps*reduces)
+	for r := 0; r < reduces; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := NewClient()
+			defer c.Close()
+			for m := 0; m < maps; m++ {
+				key := OutputKey{Job: "j", Map: m, Reduce: r}
+				got, err := c.FetchMapOutput(addr, key)
+				want := fmt.Sprintf("m%d-r%d", m, r)
+				if err != nil || string(got) != want {
+					errs <- fmt.Errorf("fetch %v: %q %v", key, got, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(NewStore())
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package mapred
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/ict-repro/mpid/internal/dfs"
+	"github.com/ict-repro/mpid/internal/kv"
+)
+
+// DFSLineSplit is one HDFS block of a text file, read with Hadoop
+// TextInputFormat semantics: a line belongs to the split in which it
+// starts. A split that does not begin the file discards the (possibly
+// partial) first line — it belongs to the previous split — and a line cut
+// by the block boundary is completed by reading on into the next block.
+// Every line of the file is therefore processed exactly once across
+// splits, even though blocks cut the byte stream arbitrarily.
+type DFSLineSplit struct {
+	nn    *dfs.NameNode
+	path  string
+	index int
+	// PreferNode hints the replica to read (the map task's node for
+	// locality); -1 for no preference.
+	PreferNode int
+}
+
+// DFSSplits returns one split per block of a dfs text file, the input the
+// job scheduler hands to mappers.
+func DFSSplits(nn *dfs.NameNode, path string) ([]Split, error) {
+	blocks, err := nn.Blocks(path)
+	if err != nil {
+		return nil, err
+	}
+	splits := make([]Split, len(blocks))
+	for i := range blocks {
+		splits[i] = &DFSLineSplit{nn: nn, path: path, index: i, PreferNode: -1}
+	}
+	return splits, nil
+}
+
+// ID implements Split.
+func (s *DFSLineSplit) ID() int { return s.index }
+
+// Records implements Split: (global byte offset, line) records with
+// TextInputFormat boundary handling.
+func (s *DFSLineSplit) Records(yield func(key, value []byte) error) error {
+	blocks, err := s.nn.Blocks(s.path)
+	if err != nil {
+		return err
+	}
+	if s.index < 0 || s.index >= len(blocks) {
+		return fmt.Errorf("mapred: split %d out of range for %s", s.index, s.path)
+	}
+	data, err := s.nn.ReadBlock(blocks[s.index].ID, s.PreferNode)
+	if err != nil {
+		return err
+	}
+
+	// Global offset of this block's first byte.
+	var base int64
+	for i := 0; i < s.index; i++ {
+		base += blocks[i].Size
+	}
+
+	pos := 0
+	offset := base
+	// A non-first split owns the line beginning at its first byte only if
+	// the previous block ended exactly on a newline; otherwise that line
+	// started in the previous split, which will reassemble it — skip
+	// through its end here (TextInputFormat's back-up-one-byte rule).
+	if s.index > 0 {
+		prev, err := s.nn.ReadBlock(blocks[s.index-1].ID, s.PreferNode)
+		if err != nil {
+			return err
+		}
+		continuation := len(prev) == 0 || prev[len(prev)-1] != '\n'
+		if continuation {
+			nl := bytes.IndexByte(data, '\n')
+			if nl < 0 {
+				// The whole block is the middle of one line owned by an
+				// earlier split: nothing to yield.
+				return nil
+			}
+			pos = nl + 1
+			offset += int64(pos)
+		}
+	}
+
+	for pos < len(data) {
+		nl := bytes.IndexByte(data[pos:], '\n')
+		if nl >= 0 {
+			line := data[pos : pos+nl]
+			if err := yield(kv.AppendVLong(nil, offset), line); err != nil {
+				return err
+			}
+			pos += nl + 1
+			offset += int64(nl + 1)
+			continue
+		}
+		// Last line starts here and is cut by the block boundary (or the
+		// file simply has no trailing newline). Complete it from the
+		// following blocks.
+		line := append([]byte(nil), data[pos:]...)
+		for bi := s.index + 1; bi < len(blocks); bi++ {
+			next, err := s.nn.ReadBlock(blocks[bi].ID, s.PreferNode)
+			if err != nil {
+				return err
+			}
+			if nl := bytes.IndexByte(next, '\n'); nl >= 0 {
+				line = append(line, next[:nl]...)
+				return yield(kv.AppendVLong(nil, offset), line)
+			}
+			line = append(line, next...)
+		}
+		return yield(kv.AppendVLong(nil, offset), line)
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package mapred
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ict-repro/mpid/internal/dfs"
+	"github.com/ict-repro/mpid/internal/kv"
+	"github.com/ict-repro/mpid/internal/workload"
+)
+
+// writeDFS stores text in a fresh dfs cluster and returns the namenode.
+func writeDFS(t *testing.T, text []byte, blockSize int64) *dfs.NameNode {
+	t.Helper()
+	nn, err := dfs.NewCluster(3, dfs.Config{BlockSize: blockSize, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := nn.Create("/input.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(text); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return nn
+}
+
+// collectLines gathers (offset, line) pairs from all splits of a file.
+func collectLines(t *testing.T, nn *dfs.NameNode, path string) (lines []string, offsets []int64) {
+	t.Helper()
+	splits, err := DFSSplits(nn, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range splits {
+		if err := s.Records(func(k, v []byte) error {
+			off, _, err := kv.ReadVLong(k)
+			if err != nil {
+				return err
+			}
+			offsets = append(offsets, off)
+			lines = append(lines, string(v))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return lines, offsets
+}
+
+func TestDFSSplitsExactlyOnceDelivery(t *testing.T) {
+	// A tiny block size guarantees lines straddle block boundaries; every
+	// line must still be delivered exactly once with its global offset.
+	text := []byte("alpha bravo\ncharlie\ndelta echo foxtrot golf\nhotel\nindia juliet\n")
+	for _, blockSize := range []int64{5, 7, 13, 64, 1024} {
+		nn := writeDFS(t, text, blockSize)
+		lines, offsets := collectLines(t, nn, "/input.txt")
+		want := strings.Split(strings.TrimRight(string(text), "\n"), "\n")
+		if len(lines) != len(want) {
+			t.Fatalf("blockSize %d: %d lines, want %d: %q", blockSize, len(lines), len(want), lines)
+		}
+		// Lines may be yielded out of global order across splits; verify
+		// each (offset, line) pair against the source text.
+		for i, off := range offsets {
+			end := int(off) + len(lines[i])
+			if end > len(text) || string(text[off:end]) != lines[i] {
+				t.Fatalf("blockSize %d: offset %d claims %q", blockSize, off, lines[i])
+			}
+		}
+		seen := make(map[int64]bool)
+		for _, off := range offsets {
+			if seen[off] {
+				t.Fatalf("blockSize %d: offset %d delivered twice", blockSize, off)
+			}
+			seen[off] = true
+		}
+	}
+}
+
+func TestDFSSplitsNoTrailingNewline(t *testing.T) {
+	text := []byte("first\nsecond\nunterminated tail")
+	nn := writeDFS(t, text, 8)
+	lines, _ := collectLines(t, nn, "/input.txt")
+	found := false
+	for _, l := range lines {
+		if l == "unterminated tail" {
+			found = true
+		}
+	}
+	if !found || len(lines) != 3 {
+		t.Fatalf("lines = %q", lines)
+	}
+}
+
+func TestDFSSplitLineSpanningManyBlocks(t *testing.T) {
+	// One line longer than several blocks: the split owning its start must
+	// reassemble it across blocks; middle blocks yield nothing.
+	long := strings.Repeat("x", 100)
+	text := []byte("short\n" + long + "\nlast\n")
+	nn := writeDFS(t, text, 16)
+	lines, _ := collectLines(t, nn, "/input.txt")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines: %q", len(lines), lines)
+	}
+	foundLong := false
+	for _, l := range lines {
+		if l == long {
+			foundLong = true
+		}
+	}
+	if !foundLong {
+		t.Fatal("long spanning line lost or truncated")
+	}
+}
+
+func TestDFSSplitsMissingFile(t *testing.T) {
+	nn, err := dfs.NewCluster(2, dfs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DFSSplits(nn, "/ghost"); err == nil {
+		t.Fatal("DFSSplits of missing file succeeded")
+	}
+}
+
+func TestWordCountJobOverDFS(t *testing.T) {
+	// Full pipeline: generate text, store it in the mini-HDFS, run the
+	// real MPI-D WordCount over DFS splits, compare with the sequential
+	// reference.
+	vocab := workload.NewVocabulary(300, 5)
+	text := workload.NewTextGenerator(vocab, 1.1, 6).BytesOfText(40_000)
+	nn := writeDFS(t, text, 4096)
+
+	splits, err := DFSSplits(nn, "/input.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) < 5 {
+		t.Fatalf("only %d splits; block size not applied?", len(splits))
+	}
+	job := Job{
+		Name:        "dfs-wordcount",
+		Mapper:      wordCountMapper,
+		Reducer:     wordCountReducer,
+		Combiner:    CombinerFromReducer(wordCountReducer),
+		NumReducers: 2,
+	}
+	res, err := Run(job, splits, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeCountPairs(t, res.Pairs())
+	want := refWordCount(text)
+	if len(got) != len(want) {
+		t.Fatalf("distinct words: got %d, want %d", len(got), len(want))
+	}
+	for w, c := range want {
+		if got[w] != c {
+			t.Errorf("count[%q] = %d, want %d", w, got[w], c)
+		}
+	}
+}
+
+func TestWordCountJobOverDFSWithNodeFailure(t *testing.T) {
+	// Replication means the job still sees every record after a datanode
+	// dies between write and read.
+	vocab := workload.NewVocabulary(100, 8)
+	text := workload.NewTextGenerator(vocab, 1.1, 9).BytesOfText(10_000)
+	nn := writeDFS(t, text, 2048)
+	nn.DataNode(0).Fail()
+
+	splits, err := DFSSplits(nn, "/input.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{Mapper: wordCountMapper, Reducer: wordCountReducer}
+	res, err := Run(job, splits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeCountPairs(t, res.Pairs())
+	want := refWordCount(text)
+	var gotTotal, wantTotal int64
+	for _, v := range got {
+		gotTotal += v
+	}
+	for _, v := range want {
+		wantTotal += v
+	}
+	if gotTotal != wantTotal {
+		t.Fatalf("word totals differ after failover: %d vs %d", gotTotal, wantTotal)
+	}
+}

@@ -1,0 +1,466 @@
+// Package mapred is a MapReduce framework over MPI-D, mirroring the
+// simulation system of the paper's §IV.A (Figure 4): rank 0 acts as the
+// master (the jobtracker analogue), other ranks are mapper and reducer
+// workers. Mappers scan input records, call the user map function, and emit
+// through MPI_D_Send; MPI-D buffers, combines, partitions, realigns and
+// ships the pairs; reducers drain MPI_D_Recv and call the user reduce
+// function. Applications never touch communication, exactly as the paper
+// prescribes: "our MPI-D interfaces can be also adopted inner the map and
+// reduce runners, and we can keep them transparently for the developers."
+package mapred
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/ict-repro/mpid/internal/core"
+	"github.com/ict-repro/mpid/internal/kv"
+	"github.com/ict-repro/mpid/internal/mpi"
+)
+
+// Emit is the output collector handed to map and reduce functions.
+type Emit func(key, value []byte) error
+
+// Mapper transforms one input record into zero or more key-value pairs.
+type Mapper interface {
+	Map(key, value []byte, emit Emit) error
+}
+
+// MapperFunc adapts a function to Mapper.
+type MapperFunc func(key, value []byte, emit Emit) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(key, value []byte, emit Emit) error { return f(key, value, emit) }
+
+// Reducer folds a key's value list into zero or more output pairs.
+type Reducer interface {
+	Reduce(key []byte, values [][]byte, emit Emit) error
+}
+
+// ReducerFunc adapts a function to Reducer.
+type ReducerFunc func(key []byte, values [][]byte, emit Emit) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key []byte, values [][]byte, emit Emit) error {
+	return f(key, values, emit)
+}
+
+// CombinerFromReducer derives an MPI-D combiner from a reducer, the common
+// Hadoop idiom the paper notes ("the combine function ... is always
+// assigned as the reduce function"). The reducer must emit values under the
+// same key for this to be sound.
+func CombinerFromReducer(r Reducer) core.CombineFunc {
+	return func(key []byte, values [][]byte) [][]byte {
+		var out [][]byte
+		err := r.Reduce(key, values, func(_, v []byte) error {
+			out = append(out, append([]byte(nil), v...))
+			return nil
+		})
+		if err != nil {
+			// A combiner has no error channel (it runs inside Send);
+			// fall back to not combining rather than corrupting data.
+			return values
+		}
+		return out
+	}
+}
+
+// Job describes a MapReduce job.
+type Job struct {
+	// Name labels the job in errors.
+	Name string
+	// Mapper and Reducer are required.
+	Mapper  Mapper
+	Reducer Reducer
+	// Combiner optionally pre-reduces map output locally. Use
+	// CombinerFromReducer for the common case.
+	Combiner core.CombineFunc
+	// Partitioner overrides MPI-D's hash-mod default.
+	Partitioner core.PartitionFunc
+	// NumReducers is the reducer count (default 1).
+	NumReducers int
+	// SpillThreshold, SortValues and Async pass through to core.Config.
+	SpillThreshold int
+	SortValues     bool
+	Async          bool
+	// MaxTaskAttempts is how many times a failing map task is retried
+	// before the job fails (mapred.map.max.attempts; Hadoop defaults to
+	// 4). Values < 2 disable retries. With retries enabled, a task's
+	// emissions are buffered and committed only when the attempt
+	// succeeds, as Hadoop commits map output at task end — a failed
+	// attempt leaves no trace in the shuffle.
+	MaxTaskAttempts int
+}
+
+// Split is one input slice processed by a single map task, the analogue of
+// an HDFS block handed to a mapper. Records returns the key-value records
+// of the split; for text inputs use LineSplit.
+type Split interface {
+	// ID identifies the split for scheduling.
+	ID() int
+	// Records iterates the split's records in order.
+	Records(yield func(key, value []byte) error) error
+}
+
+// Result is the collected output of a job.
+type Result struct {
+	// ByReducer holds each reducer's emissions in reduce order (keys
+	// arrive lexicographically sorted within a reducer).
+	ByReducer [][]kv.Pair
+	// MapCounters aggregates the MPI-D counters over all mappers.
+	MapCounters core.Counters
+	// MapTasks is the number of splits processed.
+	MapTasks int
+	// FailedAttempts counts map attempts that errored and were retried.
+	FailedAttempts int
+}
+
+// Pairs returns all output pairs merged and sorted by key, the equivalent
+// of concatenating the part-r-* files and sorting.
+func (r *Result) Pairs() []kv.Pair {
+	var all []kv.Pair
+	for _, pairs := range r.ByReducer {
+		all = append(all, pairs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return kv.Compare(all[i].Key, all[j].Key) < 0 })
+	return all
+}
+
+// Tags for framework traffic (distinct from core's DataTag/DoneTag).
+const (
+	tagSched      = 101 // mapper -> master: scheduling events (typed payload)
+	tagTaskAssign = 102 // master -> mapper: split id, or -1 for done
+	tagOutput     = 103 // reducer -> master: serialized output pairs
+	tagCounters   = 104 // mapper -> master: serialized counters
+)
+
+// Scheduling event types carried on tagSched.
+const (
+	schedRequest = 0 // give me work
+	schedDone    = 1 // split N succeeded
+	schedFailed  = 2 // split N's attempt errored
+)
+
+// Run executes the job on an in-process MPI world with 1 master rank,
+// nMappers mapper ranks and job.NumReducers reducer ranks, scheduling
+// splits dynamically, and returns the collected output.
+func Run(job Job, splits []Split, nMappers int) (*Result, error) {
+	if job.Mapper == nil || job.Reducer == nil {
+		return nil, errors.New("mapred: job needs Mapper and Reducer")
+	}
+	if nMappers <= 0 {
+		return nil, fmt.Errorf("mapred: need at least one mapper, got %d", nMappers)
+	}
+	if job.NumReducers <= 0 {
+		job.NumReducers = 1
+	}
+
+	nRanks := 1 + job.NumReducers + nMappers
+	reducers := make([]int, job.NumReducers)
+	for i := range reducers {
+		reducers[i] = 1 + i // ranks 1..NumReducers
+	}
+	senders := make([]int, nMappers)
+	for i := range senders {
+		senders[i] = 1 + job.NumReducers + i
+	}
+
+	result := &Result{ByReducer: make([][]kv.Pair, job.NumReducers), MapTasks: len(splits)}
+
+	err := mpi.Run(nRanks, func(c *mpi.Comm) error {
+		cfg := core.Config{
+			Comm:           c,
+			Reducers:       reducers,
+			Senders:        senders,
+			Combiner:       job.Combiner,
+			Partitioner:    job.Partitioner,
+			SpillThreshold: job.SpillThreshold,
+			SortValues:     job.SortValues,
+			Async:          job.Async,
+		}
+		d, err := core.Init(cfg)
+		if err != nil {
+			return err
+		}
+		switch {
+		case c.Rank() == 0:
+			return runMaster(c, d, result, job, splits, nMappers, job.NumReducers)
+		case d.IsReducer():
+			return runReducer(c, d, job)
+		default:
+			return runMapper(c, d, job, splits)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mapred: job %q: %w", job.Name, err)
+	}
+	return result, nil
+}
+
+// runMaster schedules splits to mappers on demand — re-queueing failed
+// attempts up to the job's retry budget — and collects reducer outputs and
+// mapper counters.
+func runMaster(c *mpi.Comm, d *core.D, result *Result, job Job, splits []Split, nMappers, nReducers int) error {
+	maxAttempts := job.MaxTaskAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	pending := make([]int, len(splits))
+	for i := range pending {
+		pending[i] = i
+	}
+	attempts := make(map[int]int)
+	var waiters []int // mapper ranks parked until work appears or the job drains
+	outstanding := 0  // splits assigned but not yet reported done/failed
+	released := 0     // mappers told to shut down
+
+	assign := func(rank, split int) error {
+		return c.Send(rank, tagTaskAssign, kv.AppendVLong(nil, int64(split)))
+	}
+	release := func(rank int) error {
+		released++
+		return c.Send(rank, tagTaskAssign, kv.AppendVLong(nil, -1))
+	}
+	// dispatch gives rank work if any is pending, parks it if work may yet
+	// reappear (failures), and releases it when the job has drained.
+	dispatch := func(rank int) error {
+		if len(pending) > 0 {
+			split := pending[0]
+			pending = pending[1:]
+			outstanding++
+			return assign(rank, split)
+		}
+		if outstanding > 0 {
+			waiters = append(waiters, rank)
+			return nil
+		}
+		return release(rank)
+	}
+	// drainWaiters re-evaluates parked mappers after state changes.
+	drainWaiters := func() error {
+		for len(waiters) > 0 {
+			if len(pending) == 0 && outstanding > 0 {
+				return nil // still parked
+			}
+			rank := waiters[0]
+			waiters = waiters[1:]
+			if err := dispatch(rank); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for released < nMappers {
+		data, st, err := c.Recv(mpi.AnySource, tagSched)
+		if err != nil {
+			return err
+		}
+		if len(data) == 0 {
+			return errors.New("mapred: empty scheduling event")
+		}
+		switch data[0] {
+		case schedRequest:
+			if err := dispatch(st.Source); err != nil {
+				return err
+			}
+		case schedDone:
+			outstanding--
+			if err := drainWaiters(); err != nil {
+				return err
+			}
+		case schedFailed:
+			split64, _, err := kv.ReadVLong(data[1:])
+			if err != nil {
+				return fmt.Errorf("mapred: corrupt failure event: %w", err)
+			}
+			split := int(split64)
+			attempts[split]++
+			result.FailedAttempts++
+			if attempts[split] >= maxAttempts {
+				return fmt.Errorf("mapred: map task %d failed %d time(s), budget %d exhausted",
+					split, attempts[split], maxAttempts)
+			}
+			outstanding--
+			pending = append(pending, split)
+			if err := drainWaiters(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("mapred: unknown scheduling event %d", data[0])
+		}
+	}
+	// Mapper counters.
+	for i := 0; i < nMappers; i++ {
+		data, _, err := c.Recv(mpi.AnySource, tagCounters)
+		if err != nil {
+			return err
+		}
+		cs, err := decodeCounters(data)
+		if err != nil {
+			return err
+		}
+		addCounters(&result.MapCounters, cs)
+	}
+	// Reducer outputs, indexed by reducer rank.
+	for i := 0; i < nReducers; i++ {
+		data, st, err := c.Recv(mpi.AnySource, tagOutput)
+		if err != nil {
+			return err
+		}
+		pairs, err := decodePairs(data)
+		if err != nil {
+			return err
+		}
+		result.ByReducer[st.Source-1] = pairs
+	}
+	return d.Finalize()
+}
+
+// runMapper pulls splits until the master says done, mapping each record.
+// With retries enabled, an attempt's output is buffered and committed only
+// on success; a failed attempt is reported to the master for re-queueing.
+func runMapper(c *mpi.Comm, d *core.D, job Job, splits []Split) error {
+	retries := job.MaxTaskAttempts > 1
+	for {
+		if err := c.Send(0, tagSched, []byte{schedRequest}); err != nil {
+			return err
+		}
+		data, _, err := c.Recv(0, tagTaskAssign)
+		if err != nil {
+			return err
+		}
+		idx, _, err := kv.ReadVLong(data)
+		if err != nil {
+			return err
+		}
+		if idx < 0 {
+			break
+		}
+
+		var taskErr error
+		if retries {
+			// Buffered commit: nothing reaches the shuffle unless the
+			// whole attempt succeeds.
+			var buffered []kv.Pair
+			emit := func(key, value []byte) error {
+				buffered = append(buffered, kv.Pair{Key: key, Value: value}.Clone())
+				return nil
+			}
+			taskErr = splits[idx].Records(func(k, v []byte) error {
+				return job.Mapper.Map(k, v, emit)
+			})
+			if taskErr == nil {
+				for _, p := range buffered {
+					if err := d.SendPair(p); err != nil {
+						return err
+					}
+				}
+			}
+		} else {
+			emit := func(key, value []byte) error { return d.Send(key, value) }
+			taskErr = splits[idx].Records(func(k, v []byte) error {
+				return job.Mapper.Map(k, v, emit)
+			})
+		}
+
+		if taskErr != nil {
+			if !retries {
+				return fmt.Errorf("map task %d: %w", idx, taskErr)
+			}
+			event := append([]byte{schedFailed}, kv.AppendVLong(nil, idx)...)
+			if err := c.Send(0, tagSched, event); err != nil {
+				return err
+			}
+			continue
+		}
+		event := append([]byte{schedDone}, kv.AppendVLong(nil, idx)...)
+		if err := c.Send(0, tagSched, event); err != nil {
+			return err
+		}
+	}
+	if err := d.Finalize(); err != nil {
+		return err
+	}
+	return c.Send(0, tagCounters, encodeCounters(d.Counters()))
+}
+
+// runReducer drains MPI-D, reduces each group and ships the output to the
+// master.
+func runReducer(c *mpi.Comm, d *core.D, job Job) error {
+	var out []byte
+	emit := func(key, value []byte) error {
+		out = kv.AppendPair(out, kv.Pair{Key: key, Value: value})
+		return nil
+	}
+	for {
+		key, values, err := d.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return err
+		}
+		if err := job.Reducer.Reduce(key, values, emit); err != nil {
+			return fmt.Errorf("reduce key %q: %w", key, err)
+		}
+	}
+	if err := d.Finalize(); err != nil {
+		return err
+	}
+	return c.Send(0, tagOutput, out)
+}
+
+// --------------------------------------------------------------------------
+// Counter and pair serialization for master collection.
+
+func encodeCounters(cs core.Counters) []byte {
+	b := kv.AppendVLong(nil, cs.PairsSent)
+	b = kv.AppendVLong(b, cs.PairsCombined)
+	b = kv.AppendVLong(b, cs.Spills)
+	b = kv.AppendVLong(b, cs.MessagesSent)
+	b = kv.AppendVLong(b, cs.BytesSent)
+	b = kv.AppendVLong(b, cs.PairsReceived)
+	return b
+}
+
+func decodeCounters(b []byte) (core.Counters, error) {
+	var cs core.Counters
+	fields := []*int64{
+		&cs.PairsSent, &cs.PairsCombined, &cs.Spills,
+		&cs.MessagesSent, &cs.BytesSent, &cs.PairsReceived,
+	}
+	for _, f := range fields {
+		v, n, err := kv.ReadVLong(b)
+		if err != nil {
+			return cs, fmt.Errorf("mapred: corrupt counters: %w", err)
+		}
+		*f = v
+		b = b[n:]
+	}
+	return cs, nil
+}
+
+func addCounters(dst *core.Counters, src core.Counters) {
+	dst.PairsSent += src.PairsSent
+	dst.PairsCombined += src.PairsCombined
+	dst.Spills += src.Spills
+	dst.MessagesSent += src.MessagesSent
+	dst.BytesSent += src.BytesSent
+	dst.PairsReceived += src.PairsReceived
+}
+
+func decodePairs(b []byte) ([]kv.Pair, error) {
+	var pairs []kv.Pair
+	for len(b) > 0 {
+		p, n, err := kv.ReadPair(b)
+		if err != nil {
+			return nil, fmt.Errorf("mapred: corrupt output: %w", err)
+		}
+		pairs = append(pairs, p.Clone())
+		b = b[n:]
+	}
+	return pairs, nil
+}

@@ -1,0 +1,90 @@
+// Package mpi is a from-scratch message-passing runtime in Go with MPI
+// semantics: a world of ranks, point-to-point Send/Recv with (source, tag)
+// envelope matching including wildcards, non-blocking Isend/Irecv with
+// Wait/Test, Probe, and tree-based collectives.
+//
+// Go has no mature MPI bindings, so this package substitutes for MPICH2 as
+// the substrate MPI-D (internal/core) builds on, per the paper's design:
+// "MPI-D is built on the basic point-to-point primitives in MPI" (§IV.A).
+// Two transports are provided:
+//
+//   - in-process: ranks are goroutines exchanging messages through matched
+//     queues — zero-copy hand-off, used by the examples and most tests;
+//   - TCP: ranks exchange length-prefixed frames over real sockets
+//     (loopback or a cluster), used by the latency/bandwidth harness.
+//
+// Semantics follow the MPI standard where it matters for correctness:
+// messages between a pair of ranks with matching envelopes are
+// non-overtaking; Recv with AnySource/AnyTag matches the earliest queued
+// message; collectives must be called by every rank of the communicator in
+// the same order.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wildcards for Recv/Probe envelope matching.
+const (
+	// AnySource matches a message from any rank.
+	AnySource = -1
+	// AnyTag matches a message with any user tag.
+	AnyTag = -2
+)
+
+// Tag space: user tags must be small non-negative integers; the collective
+// implementation reserves tags at collTagBase and above.
+const (
+	// MaxUserTag is the largest tag user code may pass to Send/Recv.
+	MaxUserTag = 1<<28 - 1
+	// collTagBase is the start of the internal collective tag space.
+	collTagBase = 1 << 28
+)
+
+// Status describes a received or probed message.
+type Status struct {
+	// Source is the sending rank.
+	Source int
+	// Tag is the message tag.
+	Tag int
+	// Size is the payload length in bytes.
+	Size int
+}
+
+// Message is an envelope plus payload moving through a transport. Source
+// is always a world rank; Comm identifies the communicator the message was
+// sent on (0 is the world communicator), so traffic on split
+// sub-communicators cannot match receives on other communicators.
+type Message struct {
+	Source int
+	Tag    int
+	Comm   int
+	Data   []byte
+}
+
+// ErrWorldClosed is returned by operations on a world that has shut down.
+var ErrWorldClosed = errors.New("mpi: world closed")
+
+// validateRank reports an error for an out-of-range peer rank.
+func validateRank(rank, size int) error {
+	if rank < 0 || rank >= size {
+		return fmt.Errorf("mpi: rank %d out of range [0,%d)", rank, size)
+	}
+	return nil
+}
+
+// validateTag reports an error for a tag outside the user tag space.
+func validateTag(tag int) error {
+	if tag < 0 || tag > MaxUserTag {
+		return fmt.Errorf("mpi: tag %d outside user tag range [0,%d]", tag, MaxUserTag)
+	}
+	return nil
+}
+
+// transport moves a message to a destination rank's endpoint. Implementations
+// must deliver messages from the same source in send order (non-overtaking).
+type transport interface {
+	send(to int, m Message) error
+	close() error
+}

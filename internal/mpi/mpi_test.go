@@ -1,0 +1,540 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			return c.Send(1, 7, []byte("hello"))
+		case 1:
+			data, st, err := c.Recv(0, 7)
+			if err != nil {
+				return err
+			}
+			if string(data) != "hello" || st.Source != 0 || st.Tag != 7 || st.Size != 5 {
+				return fmt.Errorf("got %q %+v", data, st)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvOrderingSamePair(t *testing.T) {
+	// Non-overtaking: messages with matching envelopes arrive in send order.
+	const n = 100
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 3, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			data, _, err := c.Recv(0, 3)
+			if err != nil {
+				return err
+			}
+			if data[0] != byte(i) {
+				return fmt.Errorf("message %d arrived out of order: %d", i, data[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvByTagSelectsAcrossQueue(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, []byte("first")); err != nil {
+				return err
+			}
+			return c.Send(1, 2, []byte("second"))
+		}
+		// Receive tag 2 first even though tag 1 arrived earlier.
+		data, _, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		if string(data) != "second" {
+			return fmt.Errorf("tag-2 recv got %q", data)
+		}
+		data, _, err = c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if string(data) != "first" {
+			return fmt.Errorf("tag-1 recv got %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnySourceWildcard(t *testing.T) {
+	// The reducer-side pattern from the paper: wildcard reception from any
+	// mapper (§IV.A "wildcard reception style").
+	const senders = 7
+	err := Run(senders+1, func(c *Comm) error {
+		if c.Rank() > 0 {
+			return c.Send(0, 5, []byte{byte(c.Rank())})
+		}
+		seen := make(map[int]bool)
+		for i := 0; i < senders; i++ {
+			data, st, err := c.Recv(AnySource, 5)
+			if err != nil {
+				return err
+			}
+			if int(data[0]) != st.Source {
+				return fmt.Errorf("payload %d != source %d", data[0], st.Source)
+			}
+			if seen[st.Source] {
+				return fmt.Errorf("duplicate source %d", st.Source)
+			}
+			seen[st.Source] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnyTagWildcard(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 42, []byte("x"))
+		}
+		_, st, err := c.Recv(0, AnyTag)
+		if err != nil {
+			return err
+		}
+		if st.Tag != 42 {
+			return fmt.Errorf("tag = %d", st.Tag)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeThenRecv(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 9, []byte("sized"))
+		}
+		st, err := c.Probe(AnySource, AnyTag)
+		if err != nil {
+			return err
+		}
+		if st.Size != 5 || st.Source != 0 || st.Tag != 9 {
+			return fmt.Errorf("probe status %+v", st)
+		}
+		data, _, err := c.Recv(st.Source, st.Tag)
+		if err != nil {
+			return err
+		}
+		if string(data) != "sized" {
+			return fmt.Errorf("recv after probe got %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIprobeNonBlocking(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	c1 := w.Comm(1)
+	if _, ok, err := c1.Iprobe(AnySource, AnyTag); err != nil || ok {
+		t.Fatalf("Iprobe on empty queue: ok=%v err=%v", ok, err)
+	}
+	if err := w.Comm(0).Send(1, 1, []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c1.Iprobe(0, 1); err != nil || !ok {
+		t.Fatalf("Iprobe after send: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestIsendIrecvWait(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 4, []byte("async"))
+			_, _, err := req.Wait()
+			return err
+		}
+		req := c.Irecv(0, 4)
+		data, st, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if string(data) != "async" || st.Source != 0 {
+			return fmt.Errorf("irecv got %q %+v", data, st)
+		}
+		if !req.Test() {
+			return errors.New("Test false after Wait")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAllCollectsError(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	c := w.Comm(0)
+	bad := c.Isend(99, 1, nil) // invalid rank
+	good := c.Isend(1, 1, []byte("ok"))
+	if err := WaitAll(bad, good); err == nil {
+		t.Fatal("WaitAll swallowed the invalid-rank error")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	c := w.Comm(0)
+	if err := c.Send(5, 1, nil); err == nil {
+		t.Error("Send to invalid rank succeeded")
+	}
+	if err := c.Send(1, -3, nil); err == nil {
+		t.Error("Send with negative tag succeeded")
+	}
+	if err := c.Send(1, MaxUserTag+1, nil); err == nil {
+		t.Error("Send with reserved tag succeeded")
+	}
+	if _, _, err := c.Recv(5, 1); err == nil {
+		t.Error("Recv from invalid rank succeeded")
+	}
+	if _, _, err := c.Recv(1, collTagBase); err == nil {
+		t.Error("Recv with reserved tag succeeded")
+	}
+}
+
+func TestWorldCloseUnblocksRecv(t *testing.T) {
+	w := NewWorld(2)
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := w.Comm(1).Recv(0, 1)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrWorldClosed) {
+			t.Fatalf("err = %v, want ErrWorldClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+func TestRunPropagatesErrorAndUnblocksPeers(t *testing.T) {
+	sentinel := errors.New("rank failure")
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return sentinel
+		}
+		// Peers block forever unless the world is torn down.
+		_, _, err := c.Recv(0, 1)
+		if !errors.Is(err, ErrWorldClosed) {
+			return fmt.Errorf("peer unblocked with %v", err)
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run err = %v, want sentinel", err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("rank 1 exploded")
+		}
+		_, _, err := c.Recv(1, 1)
+		_ = err // unblocked by teardown
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic did not surface as error")
+	}
+}
+
+// --------------------------------------------------------------------------
+// Collectives
+
+func worldSizes() []int { return []int{1, 2, 3, 4, 7, 8} }
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, n := range worldSizes() {
+		var entered int32
+		err := Run(n, func(c *Comm) error {
+			atomic.AddInt32(&entered, 1)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if got := atomic.LoadInt32(&entered); got != int32(n) {
+				return fmt.Errorf("rank %d passed barrier with %d/%d entered", c.Rank(), got, n)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, n := range worldSizes() {
+		for root := 0; root < n; root++ {
+			payload := []byte(fmt.Sprintf("payload-from-%d", root))
+			err := Run(n, func(c *Comm) error {
+				var in []byte
+				if c.Rank() == root {
+					in = payload
+				}
+				out, err := c.Bcast(root, in)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(out, payload) {
+					return fmt.Errorf("rank %d got %q", c.Rank(), out)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range worldSizes() {
+		for root := 0; root < n; root++ {
+			err := Run(n, func(c *Comm) error {
+				out, err := c.Reduce(root, EncodeInt64(int64(c.Rank()+1)), SumInt64)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == root {
+					want := int64(n * (n + 1) / 2)
+					if got := DecodeInt64(out); got != want {
+						return fmt.Errorf("sum = %d, want %d", got, want)
+					}
+				} else if out != nil {
+					return fmt.Errorf("non-root got %v", out)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+		}
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	for _, n := range worldSizes() {
+		err := Run(n, func(c *Comm) error {
+			out, err := c.Allreduce(EncodeInt64(int64(c.Rank())), MaxInt64)
+			if err != nil {
+				return err
+			}
+			if got := DecodeInt64(out); got != int64(n-1) {
+				return fmt.Errorf("rank %d: max = %d, want %d", c.Rank(), got, n-1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	const n = 5
+	err := Run(n, func(c *Comm) error {
+		gathered, err := c.Gather(2, []byte{byte(c.Rank() * 10)})
+		if err != nil {
+			return err
+		}
+		var parts [][]byte
+		if c.Rank() == 2 {
+			for i, g := range gathered {
+				if len(g) != 1 || g[0] != byte(i*10) {
+					return fmt.Errorf("gathered[%d] = %v", i, g)
+				}
+			}
+			parts = make([][]byte, n)
+			for i := range parts {
+				parts[i] = []byte{byte(i * 10), 1}
+			}
+		}
+		mine, err := c.Scatter(2, parts)
+		if err != nil {
+			return err
+		}
+		if len(mine) != 2 || mine[0] != byte(c.Rank()*10) {
+			return fmt.Errorf("rank %d scattered %v", c.Rank(), mine)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterWrongPartCount(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		var parts [][]byte
+		if c.Rank() == 0 {
+			parts = make([][]byte, 1) // wrong: needs 2
+			_, err := c.Scatter(0, parts)
+			if err == nil {
+				return errors.New("Scatter accepted wrong part count")
+			}
+			return fmt.Errorf("expected failure: %w", err)
+		}
+		_, err := c.Scatter(0, nil)
+		_ = err // unblocked by teardown
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error to propagate")
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, n := range worldSizes() {
+		err := Run(n, func(c *Comm) error {
+			out, err := c.Allgather([]byte{byte(c.Rank())})
+			if err != nil {
+				return err
+			}
+			for i, o := range out {
+				if len(o) != 1 || o[0] != byte(i) {
+					return fmt.Errorf("rank %d: out[%d] = %v", c.Rank(), i, o)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, n := range worldSizes() {
+		err := Run(n, func(c *Comm) error {
+			parts := make([][]byte, n)
+			for j := range parts {
+				parts[j] = []byte{byte(c.Rank()), byte(j)}
+			}
+			out, err := c.Alltoall(parts)
+			if err != nil {
+				return err
+			}
+			for i, o := range out {
+				if len(o) != 2 || o[0] != byte(i) || o[1] != byte(c.Rank()) {
+					return fmt.Errorf("rank %d: out[%d] = %v", c.Rank(), i, o)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestConsecutiveCollectivesDoNotInterfere(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		for i := 0; i < 50; i++ {
+			out, err := c.Allreduce(EncodeInt64(int64(i)), SumInt64)
+			if err != nil {
+				return err
+			}
+			if got := DecodeInt64(out); got != int64(4*i) {
+				return fmt.Errorf("iter %d: %d, want %d", i, got, 4*i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesMixedWithPointToPoint(t *testing.T) {
+	// Collective traffic on reserved tags must not match user Recvs.
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 0, []byte("user")); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			data, _, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
+			if string(data) != "user" {
+				return fmt.Errorf("got %q", data)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRankWorldCollectives(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		out, err := c.Bcast(0, []byte("solo"))
+		if err != nil || string(out) != "solo" {
+			return fmt.Errorf("bcast: %q %v", out, err)
+		}
+		red, err := c.Reduce(0, EncodeInt64(9), SumInt64)
+		if err != nil || DecodeInt64(red) != 9 {
+			return fmt.Errorf("reduce: %v %v", red, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

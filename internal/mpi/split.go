@@ -1,0 +1,133 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Undefined is the Split color for ranks that opt out of every
+// sub-communicator (MPI_UNDEFINED). Split returns a nil communicator for
+// them.
+const Undefined = -1
+
+// Split partitions the communicator: ranks passing the same non-negative
+// color form a new communicator, ordered by (key, old rank); ranks passing
+// Undefined get nil. Split is collective — every rank of the communicator
+// must call it, in the same program order relative to other collectives.
+//
+// This is MPI_Comm_split. Sub-communicator traffic is isolated from the
+// parent's and from sibling communicators' by a communicator id carried in
+// every message envelope.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	if color < Undefined {
+		return nil, fmt.Errorf("mpi: split color %d invalid (use Undefined to opt out)", color)
+	}
+	seq := c.splitSeq
+	c.splitSeq++
+
+	// Exchange (color, key) among all members.
+	mine := make([]byte, 16)
+	binary.BigEndian.PutUint64(mine[0:8], uint64(int64(color)))
+	binary.BigEndian.PutUint64(mine[8:16], uint64(int64(key)))
+	all, err := c.Allgather(mine)
+	if err != nil {
+		return nil, err
+	}
+
+	if color == Undefined {
+		return nil, nil
+	}
+
+	// Collect members of my color, ordered by (key, old rank).
+	type member struct{ key, oldRank int }
+	var members []member
+	for r, enc := range all {
+		if len(enc) != 16 {
+			return nil, fmt.Errorf("mpi: malformed split exchange from rank %d", r)
+		}
+		col := int(int64(binary.BigEndian.Uint64(enc[0:8])))
+		k := int(int64(binary.BigEndian.Uint64(enc[8:16])))
+		if col == color {
+			members = append(members, member{key: k, oldRank: r})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].oldRank < members[j].oldRank
+	})
+
+	group := make([]int, len(members))
+	myRank := -1
+	for i, m := range members {
+		group[i] = c.toWorld(m.oldRank)
+		if m.oldRank == c.rank {
+			myRank = i
+		}
+	}
+	if myRank < 0 {
+		return nil, fmt.Errorf("mpi: rank %d missing from its own split group", c.rank)
+	}
+
+	return &Comm{
+		world:     c.world,
+		worldRank: c.worldRank,
+		rank:      myRank,
+		ep:        c.ep,
+		id:        deriveCommID(c.id, seq, color),
+		group:     group,
+	}, nil
+}
+
+// Dup clones the communicator: same group and ranks, isolated traffic.
+// Like Split, it is collective.
+func (c *Comm) Dup() (*Comm, error) {
+	seq := c.splitSeq
+	c.splitSeq++
+	// Synchronize so every member has entered before traffic can flow on
+	// the new id (and so call order is verified early in testing).
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	group := c.group
+	if group == nil {
+		group = make([]int, c.world.size)
+		for i := range group {
+			group[i] = i
+		}
+	}
+	return &Comm{
+		world:     c.world,
+		worldRank: c.worldRank,
+		rank:      c.rank,
+		ep:        c.ep,
+		id:        deriveCommID(c.id, seq, -2), // -2: never a Split color
+		group:     group,
+	}, nil
+}
+
+// deriveCommID computes the new communicator's id. Every member computes
+// the same inputs (parent id, the parent's split sequence number aligned by
+// call order, and the color), so members agree without coordination;
+// different colors and different split calls hash apart. FNV-1a over the
+// three values keeps collision odds negligible in a 63-bit space.
+func deriveCommID(parent, seq, color int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range [3]uint64{uint64(int64(parent)), uint64(int64(seq)), uint64(int64(color))} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * uint(i))) & 0xFF
+			h *= prime64
+		}
+	}
+	id := int(h & 0x7FFFFFFFFFFFFFFF)
+	if id == 0 {
+		id = 1 // 0 is the world communicator
+	}
+	return id
+}

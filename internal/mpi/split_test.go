@@ -1,0 +1,384 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestSplitEvenOdd(t *testing.T) {
+	// Classic even/odd split: two sub-communicators, ranks ordered by key
+	// (= old rank here), collectives confined to each half.
+	err := Run(6, func(c *Comm) error {
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size = %d, want 3", sub.Size())
+		}
+		wantRank := c.Rank() / 2
+		if sub.Rank() != wantRank {
+			return fmt.Errorf("world rank %d got sub rank %d, want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		// Sum world ranks within the sub-communicator: evens 0+2+4=6,
+		// odds 1+3+5=9.
+		out, err := sub.Allreduce(EncodeInt64(int64(c.Rank())), SumInt64)
+		if err != nil {
+			return err
+		}
+		want := int64(6)
+		if c.Rank()%2 == 1 {
+			want = 9
+		}
+		if got := DecodeInt64(out); got != want {
+			return fmt.Errorf("sub allreduce = %d, want %d", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyOrdersRanks(t *testing.T) {
+	// Reverse keys: new ranks are the reverse of old ranks.
+	err := Run(4, func(c *Comm) error {
+		sub, err := c.Split(0, -c.Rank())
+		if err != nil {
+			return err
+		}
+		want := 3 - c.Rank()
+		if sub.Rank() != want {
+			return fmt.Errorf("world %d: sub rank %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitUndefinedOptsOut(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		color := 0
+		if c.Rank() == 2 {
+			color = Undefined
+		}
+		sub, err := c.Split(color, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			if sub != nil {
+				return fmt.Errorf("opted-out rank got a communicator")
+			}
+			return nil
+		}
+		if sub.Size() != 4 {
+			return fmt.Errorf("sub size = %d, want 4", sub.Size())
+		}
+		return sub.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitTrafficIsolation(t *testing.T) {
+	// A message sent on the parent must not match a receive on the child
+	// with the same tag, and vice versa.
+	err := Run(2, func(c *Comm) error {
+		sub, err := c.Split(0, c.Rank())
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := c.Send(1, 7, []byte("parent")); err != nil {
+				return err
+			}
+			return sub.Send(1, 7, []byte("child"))
+		}
+		// Receive on the child first: must get the child message even
+		// though the parent's arrived earlier.
+		data, _, err := sub.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if string(data) != "child" {
+			return fmt.Errorf("child recv got %q", data)
+		}
+		data, _, err = c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if string(data) != "parent" {
+			return fmt.Errorf("parent recv got %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSiblingIsolation(t *testing.T) {
+	// Sibling communicators from one Split call must have distinct ids.
+	err := Run(4, func(c *Comm) error {
+		sub, err := c.Split(c.Rank()%2, 0)
+		if err != nil {
+			return err
+		}
+		// Exchange sub ids through the parent and check evens != odds.
+		ids, err := c.Allgather(EncodeInt64(int64(sub.id)))
+		if err != nil {
+			return err
+		}
+		if DecodeInt64(ids[0]) == DecodeInt64(ids[1]) {
+			return fmt.Errorf("sibling communicators share id %d", DecodeInt64(ids[0]))
+		}
+		if DecodeInt64(ids[0]) != DecodeInt64(ids[2]) {
+			return fmt.Errorf("same-color members disagree on id")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitStatusSourceIsSubRank(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		sub, err := c.Split(0, -c.Rank()) // reversed ranks
+		if err != nil {
+			return err
+		}
+		// Sub rank 0 is world rank 3.
+		if sub.Rank() == 0 {
+			data, st, err := sub.Recv(AnySource, 1)
+			if err != nil {
+				return err
+			}
+			if st.Source != 3 { // world rank 0 has sub rank 3
+				return fmt.Errorf("status source = %d, want sub rank 3", st.Source)
+			}
+			if string(data) != "hi" {
+				return fmt.Errorf("payload %q", data)
+			}
+			// Probe path too.
+			st2, err := sub.Probe(AnySource, 2)
+			if err != nil {
+				return err
+			}
+			if st2.Source != 2 { // world rank 1 has sub rank 2
+				return fmt.Errorf("probe source = %d, want 2", st2.Source)
+			}
+			if _, _, err := sub.Recv(st2.Source, 2); err != nil {
+				return err
+			}
+		}
+		if c.Rank() == 0 {
+			return sub.Send(0, 1, []byte("hi"))
+		}
+		if c.Rank() == 1 {
+			return sub.Send(0, 2, []byte("yo"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedSplit(t *testing.T) {
+	// Split a split: 8 -> two 4s -> four 2s, with working collectives at
+	// the innermost level.
+	err := Run(8, func(c *Comm) error {
+		half, err := c.Split(c.Rank()/4, c.Rank())
+		if err != nil {
+			return err
+		}
+		quarter, err := half.Split(half.Rank()/2, half.Rank())
+		if err != nil {
+			return err
+		}
+		if quarter.Size() != 2 {
+			return fmt.Errorf("quarter size = %d", quarter.Size())
+		}
+		out, err := quarter.Allreduce(EncodeInt64(1), SumInt64)
+		if err != nil {
+			return err
+		}
+		if DecodeInt64(out) != 2 {
+			return fmt.Errorf("quarter allreduce = %d", DecodeInt64(out))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDupIsolatesTraffic(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		dup, err := c.Dup()
+		if err != nil {
+			return err
+		}
+		if dup.Rank() != c.Rank() || dup.Size() != c.Size() {
+			return fmt.Errorf("dup rank/size mismatch")
+		}
+		if c.Rank() == 0 {
+			if err := dup.Send(1, 3, []byte("on-dup")); err != nil {
+				return err
+			}
+			return c.Send(1, 3, []byte("on-world"))
+		}
+		data, _, err := c.Recv(0, 3)
+		if err != nil {
+			return err
+		}
+		if string(data) != "on-world" {
+			return fmt.Errorf("world recv got %q", data)
+		}
+		data, _, err = dup.Recv(0, 3)
+		if err != nil {
+			return err
+		}
+		if string(data) != "on-dup" {
+			return fmt.Errorf("dup recv got %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitInvalidColor(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if _, err := c.Split(-5, 0); err == nil {
+			return fmt.Errorf("color -5 accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitOverTCP(t *testing.T) {
+	w, err := NewTCPWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = RunOn(w, func(c *Comm) error {
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		out, err := sub.Allreduce(EncodeInt64(int64(c.Rank())), SumInt64)
+		if err != nil {
+			return err
+		}
+		want := int64(2) // 0+2
+		if c.Rank()%2 == 1 {
+			want = 4 // 1+3
+		}
+		if DecodeInt64(out) != want {
+			return fmt.Errorf("tcp sub allreduce = %d, want %d", DecodeInt64(out), want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldRankExposed(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		sub, err := c.Split(0, -c.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.WorldRank() != c.Rank() {
+			return fmt.Errorf("WorldRank = %d, want %d", sub.WorldRank(), c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvRing(t *testing.T) {
+	// Classic ring shift: everyone sends right, receives from left,
+	// simultaneously — deadlocks if Sendrecv is not eager-safe.
+	const n = 5
+	err := Run(n, func(c *Comm) error {
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() - 1 + n) % n
+		data, st, err := c.Sendrecv(right, []byte{byte(c.Rank())}, left, 4)
+		if err != nil {
+			return err
+		}
+		if st.Source != left || data[0] != byte(left) {
+			return fmt.Errorf("rank %d got %v from %d", c.Rank(), data, st.Source)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvValidation(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if _, _, err := c.Sendrecv(9, nil, 1, 1); err == nil {
+			return fmt.Errorf("bad destination accepted")
+		}
+		if _, _, err := c.Sendrecv(1, nil, 9, 1); err == nil {
+			return fmt.Errorf("bad source accepted")
+		}
+		if _, _, err := c.Sendrecv(1, nil, 1, -9); err == nil {
+			return fmt.Errorf("bad tag accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallvVariableSizes(t *testing.T) {
+	const n = 4
+	err := Run(n, func(c *Comm) error {
+		parts := make([][]byte, n)
+		for j := range parts {
+			// Rank i sends j bytes of value i to rank j (possibly zero).
+			parts[j] = bytes.Repeat([]byte{byte(c.Rank())}, j)
+		}
+		got, err := c.Alltoallv(parts)
+		if err != nil {
+			return err
+		}
+		for i, g := range got {
+			if len(g) != c.Rank() {
+				return fmt.Errorf("rank %d: from %d got %d bytes, want %d", c.Rank(), i, len(g), c.Rank())
+			}
+			for _, b := range g {
+				if b != byte(i) {
+					return fmt.Errorf("rank %d: payload from %d corrupted", c.Rank(), i)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// NewTCPWorld creates a world of n ranks whose messages travel over real TCP
+// sockets on the loopback interface. Rank goroutines still live in this
+// process (Go cannot fork MPI-style), but every byte crosses the kernel
+// socket path, which is what the latency/bandwidth harness measures.
+func NewTCPWorld(n int) (*World, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mpi: world size must be positive, got %d", n)
+	}
+	eps := make([]*endpoint, n)
+	for i := range eps {
+		eps[i] = newEndpoint()
+	}
+	tr := &tcpTransport{
+		eps:       eps,
+		addrs:     make([]string, n),
+		listeners: make([]net.Listener, n),
+		conns:     make(map[connKey]*tcpConn),
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tr.close()
+			return nil, fmt.Errorf("mpi: listen for rank %d: %w", i, err)
+		}
+		tr.listeners[i] = ln
+		tr.addrs[i] = ln.Addr().String()
+		tr.wg.Add(1)
+		go tr.acceptLoop(i, ln)
+	}
+	return &World{size: n, eps: eps, tr: tr}, nil
+}
+
+// connKey identifies a directed (source, destination) connection.
+type connKey struct{ src, dst int }
+
+// tcpConn serializes writes from concurrent senders on one connection.
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+// tcpTransport maintains a lazy full mesh of connections. One connection per
+// directed pair keeps per-pair FIFO ordering, which the matching semantics
+// rely on.
+type tcpTransport struct {
+	eps       []*endpoint
+	addrs     []string
+	listeners []net.Listener
+
+	mu     sync.Mutex
+	conns  map[connKey]*tcpConn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// frameHeader is src(int32) tag(int32) comm(uint64) length(uint32).
+const frameHeaderSize = 20
+
+func (t *tcpTransport) acceptLoop(rank int, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(rank, conn)
+	}
+}
+
+func (t *tcpTransport) readLoop(rank int, conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 256*1024)
+	var hdr [frameHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		src := int(int32(binary.BigEndian.Uint32(hdr[0:4])))
+		tag := int(int32(binary.BigEndian.Uint32(hdr[4:8])))
+		comm := int(binary.BigEndian.Uint64(hdr[8:16]))
+		size := binary.BigEndian.Uint32(hdr[16:20])
+		var data []byte
+		if size > 0 {
+			data = make([]byte, size)
+			if _, err := io.ReadFull(r, data); err != nil {
+				return
+			}
+		}
+		if err := t.eps[rank].deliver(Message{Source: src, Tag: tag, Comm: comm, Data: data}); err != nil {
+			return
+		}
+	}
+}
+
+func (t *tcpTransport) connFor(src, dst int) (*tcpConn, error) {
+	key := connKey{src, dst}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrWorldClosed
+	}
+	if c, ok := t.conns[key]; ok {
+		return c, nil
+	}
+	conn, err := net.Dial("tcp", t.addrs[dst])
+	if err != nil {
+		return nil, fmt.Errorf("mpi: dial rank %d: %w", dst, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // latency benchmark sends tiny frames
+	}
+	c := &tcpConn{c: conn, w: bufio.NewWriterSize(conn, 256*1024)}
+	t.conns[key] = c
+	return c, nil
+}
+
+func (t *tcpTransport) send(to int, m Message) error {
+	if m.Tag > (1<<31-1) || m.Tag < -(1<<31) {
+		return fmt.Errorf("mpi: tag %d does not fit the TCP frame", m.Tag)
+	}
+	if int64(len(m.Data)) > (1<<32 - 1) {
+		return errors.New("mpi: message over 4 GiB cannot be framed")
+	}
+	c, err := t.connFor(m.Source, to)
+	if err != nil {
+		return err
+	}
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(int32(m.Source)))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(int32(m.Tag)))
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(m.Comm))
+	binary.BigEndian.PutUint32(hdr[16:20], uint32(len(m.Data)))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(m.Data) > 0 {
+		if _, err := c.w.Write(m.Data); err != nil {
+			return err
+		}
+	}
+	return c.w.Flush()
+}
+
+func (t *tcpTransport) close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = nil
+	t.mu.Unlock()
+	for _, ln := range t.listeners {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	for _, c := range conns {
+		c.c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}

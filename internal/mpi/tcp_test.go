@@ -1,0 +1,207 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// runTCP mirrors Run over a TCP world.
+func runTCP(t *testing.T, n int, body func(*Comm) error) {
+	t.Helper()
+	w, err := NewTCPWorld(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := RunOn(w, body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	runTCP(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []byte("over the wire"))
+		}
+		data, st, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if string(data) != "over the wire" || st.Size != 13 {
+			return fmt.Errorf("got %q %+v", data, st)
+		}
+		return nil
+	})
+}
+
+func TestTCPEmptyMessage(t *testing.T) {
+	runTCP(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, nil)
+		}
+		data, st, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if len(data) != 0 || st.Size != 0 {
+			return fmt.Errorf("empty message arrived as %v %+v", data, st)
+		}
+		return nil
+	})
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 4<<20) // 4 MiB
+	runTCP(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 2, payload)
+		}
+		data, _, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(data, payload) {
+			return fmt.Errorf("large payload corrupted: %d bytes", len(data))
+		}
+		return nil
+	})
+}
+
+func TestTCPOrderingManyMessages(t *testing.T) {
+	const n = 500
+	runTCP(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				payload := []byte{byte(i), byte(i >> 8)}
+				if err := c.Send(1, 3, payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			data, _, err := c.Recv(0, 3)
+			if err != nil {
+				return err
+			}
+			got := int(data[0]) | int(data[1])<<8
+			if got != i {
+				return fmt.Errorf("message %d arrived as %d", i, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPPingPong(t *testing.T) {
+	runTCP(t, 2, func(c *Comm) error {
+		const rounds = 20
+		if c.Rank() == 0 {
+			for i := 0; i < rounds; i++ {
+				if err := c.Send(1, 1, []byte{byte(i)}); err != nil {
+					return err
+				}
+				data, _, err := c.Recv(1, 1)
+				if err != nil {
+					return err
+				}
+				if data[0] != byte(i) {
+					return fmt.Errorf("echo %d came back as %d", i, data[0])
+				}
+			}
+			return nil
+		}
+		for i := 0; i < rounds; i++ {
+			data, _, err := c.Recv(0, 1)
+			if err != nil {
+				return err
+			}
+			if err := c.Send(0, 1, data); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPCollectives(t *testing.T) {
+	runTCP(t, 4, func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		out, err := c.Allreduce(EncodeInt64(int64(c.Rank()+1)), SumInt64)
+		if err != nil {
+			return err
+		}
+		if got := DecodeInt64(out); got != 10 {
+			return fmt.Errorf("allreduce = %d, want 10", got)
+		}
+		parts := make([][]byte, 4)
+		for j := range parts {
+			parts[j] = []byte{byte(c.Rank() * 4), byte(j)}
+		}
+		recvd, err := c.Alltoall(parts)
+		if err != nil {
+			return err
+		}
+		for i, r := range recvd {
+			if r[0] != byte(i*4) || r[1] != byte(c.Rank()) {
+				return fmt.Errorf("alltoall[%d] = %v", i, r)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPAnySourceManySenders(t *testing.T) {
+	const senders = 6
+	runTCP(t, senders+1, func(c *Comm) error {
+		if c.Rank() > 0 {
+			return c.Send(0, 5, []byte{byte(c.Rank())})
+		}
+		seen := make(map[int]bool)
+		for i := 0; i < senders; i++ {
+			data, st, err := c.Recv(AnySource, 5)
+			if err != nil {
+				return err
+			}
+			if int(data[0]) != st.Source || seen[st.Source] {
+				return fmt.Errorf("bad/duplicate source %d", st.Source)
+			}
+			seen[st.Source] = true
+		}
+		return nil
+	})
+}
+
+func TestTCPWorldCloseIdempotent(t *testing.T) {
+	w, err := NewTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPSendAfterCloseFails(t *testing.T) {
+	w, err := NewTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.Comm(0)
+	w.Close()
+	if err := c.Send(1, 1, []byte("x")); err == nil {
+		t.Fatal("Send after Close succeeded")
+	}
+}
+
+func TestTCPInvalidWorldSize(t *testing.T) {
+	if _, err := NewTCPWorld(0); err == nil {
+		t.Fatal("NewTCPWorld(0) succeeded")
+	}
+}

@@ -1,0 +1,306 @@
+// Package netmodel provides communication cost models for the three
+// point-to-point substrates the paper measures on its 8-node Gigabit
+// Ethernet testbed (§II.B): MPICH2 send/recv, Hadoop RPC, and HTTP over
+// Jetty, plus a raw-TCP model for the paper's future-work comparison
+// (§VI(1), Socket over Java NIO).
+//
+// Each model answers two questions:
+//
+//   - Latency(n): one-way latency of a single n-byte message (the paper's
+//     Figure 2 ping-pong divided by two).
+//   - Streaming cost: what it costs to push a long run of n-byte packets
+//     through an established connection (the paper's Figure 3 bandwidth
+//     test, which moves 128 MB in fixed-size packets).
+//
+// The two differ fundamentally per substrate. MPI and Jetty stream: packets
+// pipeline through one connection, so per-packet cost is a CPU/syscall
+// overhead plus wire time. Hadoop RPC cannot stream — every packet is a
+// full RPC invocation carrying the payload as a serialized parameter, and a
+// connection allows a single outstanding call — so per-packet cost is the
+// full call latency. That mechanism, not the wire, is why the paper
+// measures Hadoop RPC peaking at ~1.4 MB/s on a 125 MB/s network.
+//
+// Model parameters are calibrated to the anchor measurements the paper
+// reports (see DESIGN.md §5); the calibration tests in this package pin the
+// models to those anchors.
+package netmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Common byte-size constants used throughout the experiments.
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+)
+
+// Model is a calibrated cost model for one communication substrate.
+type Model interface {
+	// Name identifies the substrate ("MPICH2", "HadoopRPC", "Jetty", ...).
+	Name() string
+	// Latency returns the one-way latency of a single message of n bytes.
+	Latency(n int64) time.Duration
+	// StreamTime returns the time to move total bytes through an
+	// established connection using packets of the given size.
+	StreamTime(total, packet int64) time.Duration
+	// PeakBandwidth returns the asymptotic streaming bandwidth in
+	// bytes/second.
+	PeakBandwidth() float64
+}
+
+// Bandwidth computes the achieved bandwidth in bytes/second when moving
+// total bytes in packets of the given size under the model.
+func Bandwidth(m Model, total, packet int64) float64 {
+	t := m.StreamTime(total, packet)
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return float64(total) / t.Seconds()
+}
+
+// packetCount returns the number of packets needed for total bytes.
+func packetCount(total, packet int64) int64 {
+	if packet <= 0 {
+		panic(fmt.Sprintf("netmodel: non-positive packet size %d", packet))
+	}
+	n := total / packet
+	if total%packet != 0 {
+		n++
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Alpha-beta model (MPI, Jetty, raw TCP)
+
+// AlphaBeta is the classic postal model: a message of n bytes costs
+// alpha + n/beta one-way, and streaming costs a per-packet software overhead
+// plus wire time. It fits MPICH2 on GigE extremely well and is also used for
+// Jetty and raw TCP with different constants.
+type AlphaBeta struct {
+	ModelName string
+	// Alpha is the zero-byte one-way latency.
+	Alpha time.Duration
+	// Beta is the wire bandwidth in bytes/second.
+	Beta float64
+	// StreamOverhead is the per-packet software cost (syscall, buffer
+	// management) when packets pipeline through one connection.
+	StreamOverhead time.Duration
+	// SetupCost is a one-time connection establishment cost added to
+	// StreamTime (TCP + protocol handshake; zero for MPI where the
+	// connection pre-exists).
+	SetupCost time.Duration
+}
+
+// Name implements Model.
+func (m *AlphaBeta) Name() string { return m.ModelName }
+
+// Latency implements Model: alpha + n/beta.
+func (m *AlphaBeta) Latency(n int64) time.Duration {
+	wire := float64(n) / m.Beta
+	return m.Alpha + time.Duration(wire*1e9)
+}
+
+// StreamTime implements Model: setup + packets*(overhead) + total/beta.
+func (m *AlphaBeta) StreamTime(total, packet int64) time.Duration {
+	n := packetCount(total, packet)
+	wire := float64(total) / m.Beta
+	return m.SetupCost + time.Duration(n)*m.StreamOverhead + time.Duration(wire*1e9)
+}
+
+// PeakBandwidth implements Model.
+func (m *AlphaBeta) PeakBandwidth() float64 { return m.Beta }
+
+// ---------------------------------------------------------------------------
+// Curve model (Hadoop RPC)
+
+// Point is a calibration anchor: a message size and its measured one-way
+// latency.
+type Point struct {
+	Bytes   int64
+	Latency time.Duration
+}
+
+// Curve interpolates latency between anchor points in log-log space, which
+// is how the paper plots Figure 2 and the natural space for costs that are
+// polynomial in message size. Outside the anchor range it extrapolates with
+// the slope of the nearest segment.
+type Curve struct {
+	ModelName string
+	Anchors   []Point
+	// CallPerPacket marks substrates that cannot pipeline: StreamTime is
+	// then packets * Latency(packet). Hadoop RPC allows one outstanding
+	// call per connection, so it is call-per-packet.
+	CallPerPacket bool
+	// Overhead and Beta describe streaming for curve models that CAN
+	// pipeline (unused when CallPerPacket).
+	Overhead time.Duration
+	Beta     float64
+}
+
+// NewCurve validates and sorts the anchors.
+func NewCurve(name string, anchors []Point, callPerPacket bool) *Curve {
+	if len(anchors) < 2 {
+		panic("netmodel: curve needs at least 2 anchors")
+	}
+	c := &Curve{ModelName: name, Anchors: append([]Point(nil), anchors...), CallPerPacket: callPerPacket}
+	sort.Slice(c.Anchors, func(i, j int) bool { return c.Anchors[i].Bytes < c.Anchors[j].Bytes })
+	for i, a := range c.Anchors {
+		if a.Bytes <= 0 || a.Latency <= 0 {
+			panic(fmt.Sprintf("netmodel: anchor %d of %q must be positive", i, name))
+		}
+		if i > 0 && a.Bytes == c.Anchors[i-1].Bytes {
+			panic(fmt.Sprintf("netmodel: duplicate anchor size %d in %q", a.Bytes, name))
+		}
+	}
+	return c
+}
+
+// Name implements Model.
+func (c *Curve) Name() string { return c.ModelName }
+
+// Latency implements Model via log-log interpolation.
+func (c *Curve) Latency(n int64) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	a := c.Anchors
+	// Find the segment [i, i+1] bracketing n, clamping to the outermost
+	// segments for extrapolation.
+	i := sort.Search(len(a), func(k int) bool { return a[k].Bytes >= n })
+	switch {
+	case i == 0:
+		if a[0].Bytes == n {
+			return a[0].Latency
+		}
+		i = 1 // extrapolate below using first segment
+	case i == len(a):
+		i = len(a) - 1 // extrapolate above using last segment
+	}
+	lo, hi := a[i-1], a[i]
+	lx0, lx1 := math.Log(float64(lo.Bytes)), math.Log(float64(hi.Bytes))
+	ly0, ly1 := math.Log(float64(lo.Latency)), math.Log(float64(hi.Latency))
+	t := (math.Log(float64(n)) - lx0) / (lx1 - lx0)
+	ly := ly0 + t*(ly1-ly0)
+	return time.Duration(math.Exp(ly))
+}
+
+// StreamTime implements Model.
+func (c *Curve) StreamTime(total, packet int64) time.Duration {
+	n := packetCount(total, packet)
+	if c.CallPerPacket {
+		return time.Duration(n) * c.Latency(packet)
+	}
+	wire := float64(total) / c.Beta
+	return time.Duration(n)*c.Overhead + time.Duration(wire*1e9)
+}
+
+// PeakBandwidth implements Model.
+func (c *Curve) PeakBandwidth() float64 {
+	if !c.CallPerPacket {
+		return c.Beta
+	}
+	// For call-per-packet substrates the peak is reached at the largest
+	// anchor: bytes / latency there.
+	last := c.Anchors[len(c.Anchors)-1]
+	return float64(last.Bytes) / last.Latency.Seconds()
+}
+
+// ---------------------------------------------------------------------------
+// Calibrated instances
+
+// MPI returns the MPICH2-over-GigE model. Anchors (paper §II.B): ~0.52 ms
+// at 1 B (Hadoop RPC's 1.3 ms is reported as 2.49x), ~0.6 ms at 1 KB,
+// 10.3 ms at 1 MB, 572 ms at 64 MB, peak bandwidth ~111 MB/s.
+func MPI() Model {
+	return &AlphaBeta{
+		ModelName:      "MPICH2",
+		Alpha:          522 * time.Microsecond,
+		Beta:           111 * 1e6,
+		StreamOverhead: 2 * time.Microsecond,
+		SetupCost:      0,
+	}
+}
+
+// HadoopRPC returns the Hadoop RPC model, anchored to the paper's reported
+// points: 1.3 ms for 1-16 B, 8.9 ms at 1 KB, ~100x MPI at 256 KB, 1259 ms
+// at 1 MB, 56827 ms at 64 MB (effective bandwidth ~1.1-1.4 MB/s). Hadoop
+// RPC serializes the payload field-by-field through ObjectWritable and
+// allows one outstanding call per connection, so it is call-per-packet.
+func HadoopRPC() Model {
+	return NewCurve("HadoopRPC", []Point{
+		{1, 1300 * time.Microsecond},
+		{16, 1300 * time.Microsecond},
+		{64, 2100 * time.Microsecond},
+		{256, 4200 * time.Microsecond},
+		{1 * KB, 8900 * time.Microsecond},
+		{16 * KB, 52 * time.Millisecond},
+		{256 * KB, 286 * time.Millisecond},
+		{1 * MB, 1259 * time.Millisecond},
+		{16 * MB, 15 * time.Second},
+		{64 * MB, 56827 * time.Millisecond},
+	}, true)
+}
+
+// Jetty returns the HTTP-over-Jetty model: streaming through a servlet
+// connection at ~108 MB/s peak (2-3% below MPICH2), effective from 256 B
+// packets upward (~80 MB/s there), with an HTTP request setup cost.
+func Jetty() Model {
+	return &AlphaBeta{
+		ModelName:      "Jetty",
+		Alpha:          900 * time.Microsecond, // HTTP request/response overhead
+		Beta:           108 * 1e6,
+		StreamOverhead: 840 * time.Nanosecond, // per-write servlet/stream cost
+		SetupCost:      2 * time.Millisecond,  // connect + request headers
+	}
+}
+
+// RawTCP returns a plain socket streaming model, the §VI(1) future-work
+// series (Socket over Java NIO): no protocol framing above TCP, so peak is
+// a shade above Jetty and below MPI's tuned stack at small packets.
+func RawTCP() Model {
+	return &AlphaBeta{
+		ModelName:      "RawTCP",
+		Alpha:          600 * time.Microsecond,
+		Beta:           110 * 1e6,
+		StreamOverhead: 1200 * time.Nanosecond,
+		SetupCost:      1 * time.Millisecond,
+	}
+}
+
+// GigabitWire is the raw wire rate of the testbed's Gigabit Ethernet in
+// bytes/second; models top out below it because of protocol overheads.
+const GigabitWire = 125e6
+
+// InfiniBand returns a model of a 2011-class QDR InfiniBand interconnect
+// with a native verbs stack — the §VI(4) future-work target ("to utilize
+// high performance interconnects such as the Infiniband"). Numbers follow
+// the era's published MPI-over-IB microbenchmarks: ~2 µs small-message
+// latency, ~3.2 GB/s peak unidirectional bandwidth.
+func InfiniBand() Model {
+	return &AlphaBeta{
+		ModelName:      "MPI-InfiniBand",
+		Alpha:          2 * time.Microsecond,
+		Beta:           3.2e9,
+		StreamOverhead: 300 * time.Nanosecond,
+		SetupCost:      0,
+	}
+}
+
+// TenGigE returns a 10-Gigabit Ethernet model, the other interconnect Sur
+// et al. (the paper's ref. 17) evaluate: TCP stack latency, ten times the
+// GigE wire rate.
+func TenGigE() Model {
+	return &AlphaBeta{
+		ModelName:      "MPI-10GigE",
+		Alpha:          18 * time.Microsecond,
+		Beta:           1.15e9,
+		StreamOverhead: 1500 * time.Nanosecond,
+		SetupCost:      0,
+	}
+}

@@ -1,0 +1,208 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// within checks a value is inside [lo, hi].
+func within(t *testing.T, what string, v, lo, hi float64) {
+	t.Helper()
+	if v < lo || v > hi {
+		t.Errorf("%s = %g, want in [%g, %g]", what, v, lo, hi)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func TestMPIAnchorsMatchPaper(t *testing.T) {
+	m := MPI()
+	// Paper: small messages under 1 ms; 1 MB ~ 10.3 ms; 64 MB ~ 572 ms.
+	within(t, "MPI 1B", ms(m.Latency(1)), 0.4, 1.0)
+	within(t, "MPI 1KB", ms(m.Latency(1*KB)), 0.4, 1.0)
+	within(t, "MPI 1MB", ms(m.Latency(1*MB)), 8, 13)
+	within(t, "MPI 64MB", ms(m.Latency(64*MB)), 500, 650)
+	within(t, "MPI peak BW", m.PeakBandwidth()/1e6, 105, 118)
+}
+
+func TestHadoopRPCAnchorsMatchPaper(t *testing.T) {
+	r := HadoopRPC()
+	within(t, "RPC 1B", ms(r.Latency(1)), 1.2, 1.4)
+	within(t, "RPC 16B", ms(r.Latency(16)), 1.2, 1.4)
+	within(t, "RPC 1KB", ms(r.Latency(1*KB)), 8, 10)
+	within(t, "RPC 1MB", ms(r.Latency(1*MB)), 1150, 1350)
+	within(t, "RPC 64MB", ms(r.Latency(64*MB)), 53000, 60000)
+}
+
+func TestLatencyRatiosMatchPaper(t *testing.T) {
+	m, r := MPI(), HadoopRPC()
+	// Paper: 1 B ratio is 2.49x (the smallest in the whole test); 1 KB is
+	// 15.1x; beyond 256 KB over 100x; 1 MB is 123x (the largest).
+	ratio := func(n int64) float64 {
+		return r.Latency(n).Seconds() / m.Latency(n).Seconds()
+	}
+	within(t, "ratio 1B", ratio(1), 2.0, 3.0)
+	within(t, "ratio 1KB", ratio(1*KB), 12, 18)
+	within(t, "ratio 256KB", ratio(256*KB), 80, 120)
+	within(t, "ratio 1MB", ratio(1*MB), 100, 140)
+	within(t, "ratio 64MB", ratio(64*MB), 85, 115)
+	// Monotonic growth from 1 B to 1 MB as the paper describes.
+	if ratio(1) > ratio(1*KB) || ratio(1*KB) > ratio(1*MB) {
+		t.Errorf("ratio not growing: %g, %g, %g", ratio(1), ratio(1*KB), ratio(1*MB))
+	}
+}
+
+func TestBandwidthShapeMatchesPaper(t *testing.T) {
+	const total = 128 * MB
+	m, j, r := MPI(), Jetty(), HadoopRPC()
+
+	// Paper: RPC peaks at ~1.4 MB/s; Jetty and MPI reach 80-111 MB/s from
+	// 256 B packets up; MPI peak ~111 MB/s is 2-3% above Jetty ~108 MB/s.
+	rpcPeak := 0.0
+	for _, p := range []int64{1, 256, 1 * KB, 64 * KB, 1 * MB, 64 * MB} {
+		if bw := Bandwidth(r, total, p); bw > rpcPeak {
+			rpcPeak = bw
+		}
+	}
+	within(t, "RPC peak MB/s", rpcPeak/1e6, 0.8, 1.6)
+
+	within(t, "Jetty 256B MB/s", Bandwidth(j, total, 256)/1e6, 60, 95)
+	within(t, "Jetty 64MB MB/s", Bandwidth(j, total, 64*MB)/1e6, 100, 110)
+	within(t, "MPI 256B MB/s", Bandwidth(m, total, 256)/1e6, 50, 90)
+	within(t, "MPI 64MB MB/s", Bandwidth(m, total, 64*MB)/1e6, 105, 115)
+
+	mpiPeak := Bandwidth(m, total, 64*MB)
+	jettyPeak := Bandwidth(j, total, 64*MB)
+	gain := (mpiPeak - jettyPeak) / jettyPeak
+	within(t, "MPI over Jetty peak gain", gain, 0.01, 0.06)
+
+	// MPI and Jetty ~100x RPC at peak.
+	within(t, "MPI/RPC peak ratio", mpiPeak/rpcPeak, 60, 140)
+}
+
+func TestCurveInterpolatesMonotonically(t *testing.T) {
+	r := HadoopRPC()
+	prev := time.Duration(0)
+	for n := int64(1); n <= 64*MB; n *= 2 {
+		l := r.Latency(n)
+		if l < prev-time.Microsecond { // tolerate log-space rounding on flat segments
+			t.Fatalf("latency decreased at %d bytes: %v < %v", n, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestCurveExtrapolation(t *testing.T) {
+	c := NewCurve("test", []Point{
+		{100, 10 * time.Millisecond},
+		{1000, 100 * time.Millisecond},
+	}, true)
+	// Slope is 1 in log-log space, so 10000 bytes ~ 1000 ms and 10 bytes ~ 1 ms.
+	if got := c.Latency(10000); math.Abs(ms(got)-1000) > 50 {
+		t.Errorf("extrapolated high = %v, want ~1000ms", got)
+	}
+	if got := c.Latency(10); math.Abs(ms(got)-1) > 0.1 {
+		t.Errorf("extrapolated low = %v, want ~1ms", got)
+	}
+	// Exact anchor hit.
+	if got := c.Latency(100); got != 10*time.Millisecond {
+		t.Errorf("anchor = %v, want 10ms", got)
+	}
+	// Sizes below 1 clamp to 1.
+	if got := c.Latency(0); got != c.Latency(1) {
+		t.Errorf("Latency(0) = %v != Latency(1) = %v", got, c.Latency(1))
+	}
+}
+
+func TestCurveValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("too few anchors", func() {
+		NewCurve("x", []Point{{1, time.Millisecond}}, true)
+	})
+	mustPanic("duplicate anchors", func() {
+		NewCurve("x", []Point{{1, time.Millisecond}, {1, 2 * time.Millisecond}}, true)
+	})
+	mustPanic("non-positive latency", func() {
+		NewCurve("x", []Point{{1, 0}, {2, time.Millisecond}}, true)
+	})
+}
+
+func TestStreamTimePacketMath(t *testing.T) {
+	m := &AlphaBeta{ModelName: "t", Alpha: time.Millisecond, Beta: 1e6, StreamOverhead: time.Millisecond}
+	// 10 bytes in 3-byte packets = 4 packets.
+	got := m.StreamTime(10, 3)
+	want := 4*time.Millisecond + 10*time.Microsecond
+	if got != want {
+		t.Errorf("StreamTime = %v, want %v", got, want)
+	}
+}
+
+func TestPacketCountPanicsOnZeroPacket(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for packet size 0")
+		}
+	}()
+	MPI().StreamTime(100, 0)
+}
+
+func TestRawTCPSitsBetweenJettyAndMPIAtPeak(t *testing.T) {
+	const total = 128 * MB
+	tcp := Bandwidth(RawTCP(), total, 64*MB)
+	jetty := Bandwidth(Jetty(), total, 64*MB)
+	mpi := Bandwidth(MPI(), total, 64*MB)
+	if !(jetty < tcp && tcp < mpi) {
+		t.Errorf("peak order want jetty < rawtcp < mpi, got %g, %g, %g", jetty, tcp, mpi)
+	}
+}
+
+func TestCallPerPacketVsStreaming(t *testing.T) {
+	// The defining mechanism: for the same substrate parameters, a
+	// call-per-packet transfer of many small packets must be orders of
+	// magnitude slower than a streaming one.
+	rpc := HadoopRPC()
+	mpi := MPI()
+	slow := rpc.StreamTime(1*MB, 1*KB)
+	fast := mpi.StreamTime(1*MB, 1*KB)
+	if slow < 100*fast {
+		t.Errorf("call-per-packet %v should be >=100x streaming %v", slow, fast)
+	}
+}
+
+func TestBandwidthInfiniteOnZeroTime(t *testing.T) {
+	m := &AlphaBeta{ModelName: "free", Alpha: 0, Beta: 1e30}
+	if bw := Bandwidth(m, 0, 1); !math.IsInf(bw, 1) {
+		t.Errorf("Bandwidth of zero-time transfer = %g, want +Inf", bw)
+	}
+}
+
+func TestHighPerformanceInterconnectModels(t *testing.T) {
+	ib, tenGE, gige := InfiniBand(), TenGigE(), MPI()
+	// Latency ordering: IB << 10GigE << GigE MPI.
+	if !(ib.Latency(1) < tenGE.Latency(1) && tenGE.Latency(1) < gige.Latency(1)) {
+		t.Errorf("latency ordering broken: %v, %v, %v",
+			ib.Latency(1), tenGE.Latency(1), gige.Latency(1))
+	}
+	// Peak bandwidth ordering and rough factors (IB ~29x GigE, 10GigE ~10x).
+	ibGain := ib.PeakBandwidth() / gige.PeakBandwidth()
+	if ibGain < 20 || ibGain > 40 {
+		t.Errorf("IB/GigE peak gain = %g, want ~29x", ibGain)
+	}
+	tenGain := tenGE.PeakBandwidth() / gige.PeakBandwidth()
+	if tenGain < 8 || tenGain > 12 {
+		t.Errorf("10GigE/GigE peak gain = %g, want ~10x", tenGain)
+	}
+	// Small-message latency in the microsecond class.
+	if ib.Latency(8) > 5*time.Microsecond {
+		t.Errorf("IB 8B latency = %v", ib.Latency(8))
+	}
+}

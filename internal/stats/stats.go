@@ -1,0 +1,297 @@
+// Package stats provides the small statistics and rendering toolkit the
+// experiment harness uses: streaming summaries, percentiles, histograms and
+// fixed-width tables that print the same rows and series the paper reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary accumulates observations and answers the usual questions. The
+// zero value is ready to use. Values are retained to support percentiles;
+// the experiments here observe at most a few thousand points.
+type Summary struct {
+	values []float64
+	sum    float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// AddDuration records a time observation in seconds.
+func (s *Summary) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// Count returns the number of observations.
+func (s *Summary) Count() int { return len(s.values) }
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.values))
+}
+
+// Min returns the smallest observation, or 0 with none.
+func (s *Summary) Min() float64 {
+	s.ensureSorted()
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.values[0]
+}
+
+// Max returns the largest observation, or 0 with none.
+func (s *Summary) Max() float64 {
+	s.ensureSorted()
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.values[len(s.values)-1]
+}
+
+// Stddev returns the population standard deviation.
+func (s *Summary) Stddev() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Percentile returns the p-th percentile (0..100) by linear interpolation
+// between closest ranks.
+func (s *Summary) Percentile(p float64) float64 {
+	s.ensureSorted()
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Summary) Median() float64 { return s.Percentile(50) }
+
+func (s *Summary) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Values returns a copy of the observations in sorted order.
+func (s *Summary) Values() []float64 {
+	s.ensureSorted()
+	return append([]float64(nil), s.values...)
+}
+
+// ---------------------------------------------------------------------------
+// Table rendering
+
+// Table renders rows with aligned columns, suitable for terminal output and
+// EXPERIMENTS.md code blocks.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatFloat(v)
+		case time.Duration:
+			row[i] = FormatDuration(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Formatting helpers
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// values with enough precision to be meaningful.
+func FormatFloat(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == math.Trunc(v) && av < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	case av >= 0.001:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// FormatDuration renders a duration with sensible units for the experiment
+// tables (µs under 1 ms, ms under 10 s, seconds above).
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < 10*time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+}
+
+// FormatBytes renders a byte count with binary units (64 MB-style, as the
+// paper writes sizes).
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// FormatRate renders a bytes/second rate in MB/s as the paper does.
+func FormatRate(bytesPerSec float64) string {
+	return fmt.Sprintf("%.2fMB/s", bytesPerSec/1e6)
+}
+
+// ---------------------------------------------------------------------------
+// Histogram for Figure-1-style distributions.
+
+// Histogram buckets observations into fixed-width bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+}
+
+// NewHistogram creates a histogram over [lo, hi) with n bins.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records an observation; out-of-range values are tallied separately.
+func (h *Histogram) Add(v float64) {
+	switch {
+	case v < h.Lo:
+		h.under++
+	case v >= h.Hi:
+		h.over++
+	default:
+		i := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // float edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Outliers returns counts below Lo and at-or-above Hi.
+func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
+
+// String renders the histogram as an ASCII bar chart.
+func (h *Histogram) String() string {
+	maxCount := 1
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bars := c * 50 / maxCount
+		fmt.Fprintf(&b, "%10s |%s %d\n",
+			FormatFloat(h.Lo+float64(i)*width), strings.Repeat("#", bars), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Add(v)
+	}
+	if s.Count() != 5 || s.Sum() != 15 || s.Mean() != 3 {
+		t.Fatalf("count/sum/mean = %d/%g/%g", s.Count(), s.Sum(), s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 || s.Median() != 3 {
+		t.Fatalf("min/max/median = %g/%g/%g", s.Min(), s.Max(), s.Median())
+	}
+	want := math.Sqrt(2)
+	if math.Abs(s.Stddev()-want) > 1e-12 {
+		t.Fatalf("stddev = %g, want %g", s.Stddev(), want)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+}
+
+func TestSummaryPercentileInterpolation(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 4; i++ {
+		s.Add(float64(i)) // 1,2,3,4
+	}
+	if got := s.Percentile(50); got != 2.5 {
+		t.Errorf("p50 = %g, want 2.5", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %g, want 1", got)
+	}
+	if got := s.Percentile(100); got != 4 {
+		t.Errorf("p100 = %g, want 4", got)
+	}
+	if got := s.Percentile(-5); got != 1 {
+		t.Errorf("p-5 = %g, want clamp to 1", got)
+	}
+}
+
+func TestSummaryAddAfterSortKeepsCorrectness(t *testing.T) {
+	var s Summary
+	s.Add(10)
+	_ = s.Min() // forces sort
+	s.Add(1)
+	if s.Min() != 1 || s.Max() != 10 {
+		t.Fatalf("min/max after late add = %g/%g", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryPercentileBoundsProperty(t *testing.T) {
+	f := func(vals []float64, p float64) bool {
+		var s Summary
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		p = math.Mod(math.Abs(p), 100)
+		got := s.Percentile(p)
+		return got >= s.Min() && got <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryValuesSortedCopy(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	s.Add(1)
+	v := s.Values()
+	if !sort.Float64sAreSorted(v) {
+		t.Fatal("Values not sorted")
+	}
+	v[0] = 99
+	if s.Min() == 99 {
+		t.Fatal("Values aliases internal storage")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("size", "latency", "ratio")
+	tb.AddRow("1KB", 8900*time.Microsecond, 15.1)
+	tb.AddRow("1MB", 1259*time.Millisecond, 123.0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "size") || !strings.Contains(lines[0], "ratio") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(out, "8.90ms") || !strings.Contains(out, "15.10") {
+		t.Errorf("row formatting wrong:\n%s", out)
+	}
+	// Columns align: all rows should place column 2 at the same offset.
+	off := strings.Index(lines[0], "latency")
+	if off < 0 || len(lines[2]) < off {
+		t.Fatalf("alignment check impossible:\n%s", out)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{500 * time.Nanosecond, "0.5µs"},
+		{522 * time.Microsecond, "522.0µs"},
+		{8900 * time.Microsecond, "8.90ms"},
+		{1259 * time.Millisecond, "1259.00ms"},
+		{56827 * time.Millisecond, "56.8s"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{1, "1B"}, {512, "512B"}, {1024, "1KB"}, {64 << 20, "64MB"},
+		{150 << 30, "150GB"}, {1536, "B"},
+	}
+	for _, c := range cases[:5] {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+	if got := FormatBytes(1536); got != "1536B" {
+		t.Errorf("FormatBytes(1536) = %q, want fallback bytes", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if got := FormatFloat(123); got != "123" {
+		t.Errorf("FormatFloat(123) = %q", got)
+	}
+	if got := FormatFloat(0.0102); got != "0.0102" {
+		t.Errorf("FormatFloat(0.0102) = %q", got)
+	}
+	if got := FormatFloat(128.5); got != "128.5" {
+		t.Errorf("FormatFloat(128.5) = %q", got)
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	if got := FormatRate(111e6); got != "111.00MB/s" {
+		t.Errorf("FormatRate = %q", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0, 1, 2.5, 9.99, 10, -1, 100} {
+		h.Add(v)
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Fatalf("outliers = %d/%d, want 1/2", under, over)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("in-range count = %d, want 4", total)
+	}
+	if h.Counts[0] != 2 { // 0 and 1 both land in [0,2)
+		t.Errorf("bin 0 = %d, want 2", h.Counts[0])
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Error("histogram render has no bars")
+	}
+}
+
+func TestHistogramInvalidBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}

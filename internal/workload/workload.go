@@ -1,0 +1,199 @@
+// Package workload generates the deterministic synthetic inputs the
+// experiments process: Zipf-distributed text for WordCount (the paper's §IV
+// micro-benchmark) and GridMix-style sortable records for the JavaSort
+// shuffle study (§II.A). The paper's actual 1-150 GB inputs are not
+// available; these generators are seeded and reproducible, and their
+// statistical shape (vocabulary skew, record geometry) is what the measured
+// systems are sensitive to.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Vocabulary holds the word list text generation draws from.
+type Vocabulary struct {
+	words []string
+}
+
+// NewVocabulary synthesizes n pseudo-English words deterministically from
+// the seed. Words are syllable chains, 3-12 letters, guaranteed unique.
+func NewVocabulary(n int, seed int64) *Vocabulary {
+	rng := rand.New(rand.NewSource(seed))
+	syllables := []string{
+		"ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du",
+		"ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo", "lu",
+		"ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+		"ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su",
+		"ta", "te", "ti", "to", "tu", "za", "ze", "zi", "zo", "zu",
+	}
+	seen := make(map[string]bool, n)
+	words := make([]string, 0, n)
+	for len(words) < n {
+		var b strings.Builder
+		k := 2 + rng.Intn(4)
+		for i := 0; i < k; i++ {
+			b.WriteString(syllables[rng.Intn(len(syllables))])
+		}
+		w := b.String()
+		if seen[w] {
+			// Disambiguate deterministically rather than rerolling forever.
+			w = fmt.Sprintf("%s%d", w, len(words))
+		}
+		seen[w] = true
+		words = append(words, w)
+	}
+	return &Vocabulary{words: words}
+}
+
+// Size returns the vocabulary size.
+func (v *Vocabulary) Size() int { return len(v.words) }
+
+// Word returns the i-th word.
+func (v *Vocabulary) Word(i int) string { return v.words[i] }
+
+// TextGenerator produces lines of Zipf-distributed words, modelling natural
+// text for WordCount. It is deterministic for a given (vocab, seed).
+type TextGenerator struct {
+	vocab *Vocabulary
+	zipf  *rand.Zipf
+	rng   *rand.Rand
+	// WordsPerLine controls line length (default 10).
+	WordsPerLine int
+}
+
+// NewTextGenerator creates a generator with Zipf parameter s (typical
+// natural-language skew is s ~ 1.1).
+func NewTextGenerator(vocab *Vocabulary, s float64, seed int64) *TextGenerator {
+	if s <= 1 {
+		s = 1.0001 // rand.Zipf requires s > 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &TextGenerator{
+		vocab:        vocab,
+		zipf:         rand.NewZipf(rng, s, 1, uint64(vocab.Size()-1)),
+		rng:          rng,
+		WordsPerLine: 10,
+	}
+}
+
+// Line generates one line of text.
+func (g *TextGenerator) Line() string {
+	n := g.WordsPerLine
+	words := make([]string, n)
+	for i := range words {
+		words[i] = g.vocab.Word(int(g.zipf.Uint64()))
+	}
+	return strings.Join(words, " ")
+}
+
+// Lines generates n lines.
+func (g *TextGenerator) Lines(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.Line()
+	}
+	return out
+}
+
+// BytesOfText generates approximately total bytes of newline-terminated
+// text and returns it as one buffer.
+func (g *TextGenerator) BytesOfText(total int) []byte {
+	var b strings.Builder
+	b.Grow(total + 128)
+	for b.Len() < total {
+		b.WriteString(g.Line())
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// ---------------------------------------------------------------------------
+// GridMix JavaSort records
+
+// SortRecord mirrors the TeraSort/GridMix record geometry: a 10-byte random
+// key and a fixed-size filler value; 100 bytes total by default.
+type SortRecord struct {
+	Key   []byte
+	Value []byte
+}
+
+// SortGenerator produces deterministic sortable records.
+type SortGenerator struct {
+	rng       *rand.Rand
+	ValueSize int // default 90
+}
+
+// NewSortGenerator creates a generator from seed.
+func NewSortGenerator(seed int64) *SortGenerator {
+	return &SortGenerator{rng: rand.New(rand.NewSource(seed)), ValueSize: 90}
+}
+
+// Record generates one record. Keys are uniform-random printable bytes so
+// hash and range partitioning both spread them evenly.
+func (g *SortGenerator) Record() SortRecord {
+	key := make([]byte, 10)
+	for i := range key {
+		key[i] = byte(' ' + g.rng.Intn(95))
+	}
+	val := make([]byte, g.ValueSize)
+	for i := range val {
+		val[i] = byte('A' + g.rng.Intn(26))
+	}
+	return SortRecord{Key: key, Value: val}
+}
+
+// Records generates n records.
+func (g *SortGenerator) Records(n int) []SortRecord {
+	out := make([]SortRecord, n)
+	for i := range out {
+		out[i] = g.Record()
+	}
+	return out
+}
+
+// RecordSize returns the byte size of one generated record.
+func (g *SortGenerator) RecordSize() int { return 10 + g.ValueSize }
+
+// ---------------------------------------------------------------------------
+// Statistical descriptors used by the simulators. At 150 GB the DES cannot
+// materialize records; it works from these aggregate properties instead.
+
+// TextProfile describes WordCount-relevant statistics of generated text
+// without materializing it.
+type TextProfile struct {
+	// AvgWordLen is the mean word length in bytes (excluding separator).
+	AvgWordLen float64
+	// WordsPerByte is the expected number of words per input byte.
+	WordsPerByte float64
+	// DistinctPerBlock estimates distinct words seen in a block of the
+	// given size; with a Zipf vocabulary this saturates near the
+	// vocabulary size for any block over a few MB.
+	VocabSize int
+}
+
+// Profile measures a generator empirically over sample bytes of text, so
+// the simulators use the same distribution the real examples process.
+func (g *TextGenerator) Profile(sampleBytes int) TextProfile {
+	buf := g.BytesOfText(sampleBytes)
+	words := 0
+	wordBytes := 0
+	distinct := make(map[string]bool)
+	for _, line := range strings.Split(string(buf), "\n") {
+		for _, w := range strings.Fields(line) {
+			words++
+			wordBytes += len(w)
+			distinct[w] = true
+		}
+	}
+	if words == 0 {
+		return TextProfile{VocabSize: g.vocab.Size()}
+	}
+	return TextProfile{
+		AvgWordLen:   float64(wordBytes) / float64(words),
+		WordsPerByte: float64(words) / float64(len(buf)),
+		VocabSize:    len(distinct),
+	}
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVocabularyUniqueWords(t *testing.T) {
+	v := NewVocabulary(5000, 42)
+	if v.Size() != 5000 {
+		t.Fatalf("Size = %d", v.Size())
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < v.Size(); i++ {
+		w := v.Word(i)
+		if w == "" {
+			t.Fatalf("empty word at %d", i)
+		}
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestVocabularyDeterministic(t *testing.T) {
+	a, b := NewVocabulary(100, 7), NewVocabulary(100, 7)
+	for i := 0; i < 100; i++ {
+		if a.Word(i) != b.Word(i) {
+			t.Fatalf("vocabularies diverge at %d: %q vs %q", i, a.Word(i), b.Word(i))
+		}
+	}
+	c := NewVocabulary(100, 8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Word(i) == c.Word(i) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical vocabularies")
+	}
+}
+
+func TestTextGeneratorDeterministic(t *testing.T) {
+	v := NewVocabulary(1000, 1)
+	g1 := NewTextGenerator(v, 1.1, 99)
+	g2 := NewTextGenerator(v, 1.1, 99)
+	for i := 0; i < 50; i++ {
+		if l1, l2 := g1.Line(), g2.Line(); l1 != l2 {
+			t.Fatalf("line %d diverges: %q vs %q", i, l1, l2)
+		}
+	}
+}
+
+func TestTextGeneratorZipfSkew(t *testing.T) {
+	// With Zipf skew, the most frequent word should dominate: its count
+	// must be several times the median word's count.
+	v := NewVocabulary(1000, 1)
+	g := NewTextGenerator(v, 1.2, 5)
+	counts := make(map[string]int)
+	for _, l := range g.Lines(5000) {
+		for _, w := range strings.Fields(l) {
+			counts[w]++
+		}
+	}
+	maxCount := 0
+	total := 0
+	for _, c := range counts {
+		total += c
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if total != 50000 {
+		t.Fatalf("total words = %d, want 50000", total)
+	}
+	if float64(maxCount) < 0.05*float64(total) {
+		t.Errorf("top word has %d/%d occurrences; expected strong skew", maxCount, total)
+	}
+	if len(counts) < 50 {
+		t.Errorf("only %d distinct words; vocabulary collapse", len(counts))
+	}
+}
+
+func TestBytesOfTextSizeAndShape(t *testing.T) {
+	v := NewVocabulary(500, 2)
+	g := NewTextGenerator(v, 1.1, 3)
+	buf := g.BytesOfText(10000)
+	if len(buf) < 10000 || len(buf) > 10000+200 {
+		t.Fatalf("BytesOfText length = %d", len(buf))
+	}
+	if buf[len(buf)-1] != '\n' {
+		t.Fatal("text does not end with newline")
+	}
+	if bytes.Contains(buf, []byte("\n\n")) {
+		t.Fatal("empty lines in generated text")
+	}
+}
+
+func TestWordsPerLineConfigurable(t *testing.T) {
+	v := NewVocabulary(100, 2)
+	g := NewTextGenerator(v, 1.1, 3)
+	g.WordsPerLine = 3
+	if n := len(strings.Fields(g.Line())); n != 3 {
+		t.Fatalf("line has %d words, want 3", n)
+	}
+}
+
+func TestZipfParameterClamped(t *testing.T) {
+	v := NewVocabulary(100, 2)
+	// s <= 1 is invalid for rand.Zipf; the constructor must clamp, not panic.
+	g := NewTextGenerator(v, 0.5, 3)
+	if g.Line() == "" {
+		t.Fatal("clamped generator produced empty line")
+	}
+}
+
+func TestSortGeneratorGeometry(t *testing.T) {
+	g := NewSortGenerator(11)
+	r := g.Record()
+	if len(r.Key) != 10 || len(r.Value) != 90 {
+		t.Fatalf("record geometry %d/%d, want 10/90", len(r.Key), len(r.Value))
+	}
+	if g.RecordSize() != 100 {
+		t.Fatalf("RecordSize = %d", g.RecordSize())
+	}
+	for _, b := range r.Key {
+		if b < ' ' || b > '~' {
+			t.Fatalf("non-printable key byte %d", b)
+		}
+	}
+}
+
+func TestSortGeneratorDeterministicAndSpread(t *testing.T) {
+	a := NewSortGenerator(20).Records(100)
+	b := NewSortGenerator(20).Records(100)
+	for i := range a {
+		if !bytes.Equal(a[i].Key, b[i].Key) {
+			t.Fatalf("records diverge at %d", i)
+		}
+	}
+	// Keys should be spread: first bytes should cover a wide range.
+	firstBytes := make(map[byte]bool)
+	for _, r := range a {
+		firstBytes[r.Key[0]] = true
+	}
+	if len(firstBytes) < 30 {
+		t.Errorf("keys poorly spread: %d distinct first bytes", len(firstBytes))
+	}
+}
+
+func TestProfileReportsPlausibleText(t *testing.T) {
+	v := NewVocabulary(2000, 1)
+	g := NewTextGenerator(v, 1.1, 9)
+	p := g.Profile(200000)
+	if p.AvgWordLen < 3 || p.AvgWordLen > 13 {
+		t.Errorf("AvgWordLen = %g", p.AvgWordLen)
+	}
+	// words per byte ~ 1/(avgLen+1)
+	approx := 1 / (p.AvgWordLen + 1)
+	if p.WordsPerByte < approx*0.8 || p.WordsPerByte > approx*1.2 {
+		t.Errorf("WordsPerByte = %g, expected near %g", p.WordsPerByte, approx)
+	}
+	if p.VocabSize < 100 || p.VocabSize > 2000 {
+		t.Errorf("VocabSize = %d", p.VocabSize)
+	}
+}
