@@ -1,8 +1,18 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench report examples clean
+.PHONY: all check build vet test race chaos bench report examples clean
 
 all: build vet test
+
+# check is the pre-merge gate: build, vet, the full suite, and the race
+# detector over the concurrent fault-tolerance paths. The chaos tests run
+# inside `test`/`race` with fixed injector seeds, so the gate is
+# deterministic.
+check: build vet test race
+
+# Just the chaos suite (fault injection against the live Hadoop engine).
+chaos:
+	go test ./internal/hadoop/ -run TestChaos -v
 
 build:
 	go build ./...

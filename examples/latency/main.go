@@ -51,7 +51,10 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	cli, err := hadooprpc.Dial(addr, hadooprpc.EchoProtocolName, hadooprpc.EchoProtocolVersion)
+	// Explicit timeouts keep a wedged server from hanging the benchmark:
+	// a connect must land within 2 s and no single echo may take > 10 s.
+	cli, err := hadooprpc.DialOptions(addr, hadooprpc.EchoProtocolName, hadooprpc.EchoProtocolVersion,
+		hadooprpc.Options{DialTimeout: 2 * time.Second, CallTimeout: 10 * time.Second})
 	if err != nil {
 		log.Fatal(err)
 	}

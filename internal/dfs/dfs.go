@@ -26,6 +26,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"github.com/ict-repro/mpid/internal/faults"
 )
 
 // Errors returned by the file system.
@@ -84,18 +86,40 @@ type FileInfo struct {
 
 // DataNode stores block replicas. All methods are safe for concurrent use.
 type DataNode struct {
-	id int
+	id   int
+	comp string // injector component name, "dfs.datanode<id>"
 
 	mu     sync.RWMutex
 	blocks map[BlockID][]byte
 	down   bool
+	inj    *faults.Injector
 }
 
 // ID returns the datanode id.
 func (d *DataNode) ID() int { return d.id }
 
+// inject runs the injection point for one I/O operation. An injected crash
+// fails the node for good (replicas lost, I/O rejected) before the error is
+// returned, so readers observe an ordinary dead-node failure.
+func (d *DataNode) inject(op, peer string) error {
+	d.mu.RLock()
+	inj := d.inj
+	d.mu.RUnlock()
+	err := inj.Check(d.comp, op, peer)
+	if err == nil {
+		return nil
+	}
+	if faults.IsCrash(err) {
+		d.Fail()
+	}
+	return err
+}
+
 // store keeps a replica. The caller must not modify data afterwards.
 func (d *DataNode) store(id BlockID, data []byte) error {
+	if err := d.inject("write", id.Path); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.down {
@@ -107,6 +131,9 @@ func (d *DataNode) store(id BlockID, data []byte) error {
 
 // Read returns a replica's content.
 func (d *DataNode) Read(id BlockID) ([]byte, error) {
+	if err := d.inject("read", id.Path); err != nil {
+		return nil, err
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if d.down {
@@ -174,9 +201,25 @@ func NewCluster(n int, cfg Config) (*NameNode, error) {
 	}
 	nn := &NameNode{cfg: cfg, files: make(map[string]*fileMeta)}
 	for i := 0; i < n; i++ {
-		nn.datanodes = append(nn.datanodes, &DataNode{id: i, blocks: make(map[BlockID][]byte)})
+		nn.datanodes = append(nn.datanodes, &DataNode{
+			id:     i,
+			comp:   fmt.Sprintf("dfs.datanode%d", i),
+			blocks: make(map[BlockID][]byte),
+		})
 	}
 	return nn, nil
+}
+
+// SetInjector wires a fault injector into every DataNode. Node i is the
+// component "dfs.datanode<i>" with injection points "read" and "write"
+// (peer = file path); an injected crash fails the node permanently, the
+// same fault Fail simulates.
+func (nn *NameNode) SetInjector(inj *faults.Injector) {
+	for _, d := range nn.datanodes {
+		d.mu.Lock()
+		d.inj = inj
+		d.mu.Unlock()
+	}
 }
 
 // Config returns the effective configuration.

@@ -1,0 +1,75 @@
+package dfs
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/ict-repro/mpid/internal/faults"
+)
+
+// TestReadFailsOverWhenDataNodeCrashesMidRead crashes a datanode partway
+// through a sequential file read; replica failover must deliver the full,
+// correct content anyway.
+func TestReadFailsOverWhenDataNodeCrashesMidRead(t *testing.T) {
+	nn, err := NewCluster(3, Config{BlockSize: 4, Replication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := "twelve bytes"
+	w, err := nn.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(w, strings.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 0 dies on its first read — mid-file, since it is the primary
+	// replica of the first block only.
+	inj := faults.New(1, faults.Rule{Component: "dfs.datanode0", Operation: "read", Action: faults.Crash})
+	nn.SetInjector(inj)
+
+	r, err := nn.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("read across crash: %v", err)
+	}
+	if string(got) != content {
+		t.Fatalf("read %q, want %q", got, content)
+	}
+	if !nn.DataNode(0).Down() {
+		t.Fatal("crashed datanode still reports up")
+	}
+	// The namenode now sees the blocks as under-replicated and can heal
+	// them onto the survivors... but with all three nodes already holding
+	// replicas and one dead, replication 3 cannot be met; the work list
+	// must still be reported.
+	if len(nn.UnderReplicated()) == 0 {
+		t.Fatal("no under-replicated blocks reported after crash")
+	}
+}
+
+// TestWriteFailsWhenReplicaTargetCrashes crashes a replica target on its
+// first write: the commit surfaces the failure to the writer.
+func TestWriteFailsWhenReplicaTargetCrashes(t *testing.T) {
+	nn, err := NewCluster(2, Config{BlockSize: 8, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(1, faults.Rule{Component: "dfs.datanode1", Operation: "write", Action: faults.Crash})
+	nn.SetInjector(inj)
+	w, err := nn.Create("/g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("data going nowhere")); !faults.IsCrash(err) {
+		t.Fatalf("write = %v, want crash", err)
+	}
+}

@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes bounded exponential retry delays with jitter, the
+// schedule every tolerant component in the live stack shares.
+type Backoff struct {
+	// Base is the delay before the first retry (default 1 ms).
+	Base time.Duration
+	// Max caps the delay (default 100 ms).
+	Max time.Duration
+	// Multiplier grows the delay per attempt (default 2).
+	Multiplier float64
+	// Jitter is the fraction of the delay randomized away, in [0, 1)
+	// (default 0.2). Jitter draws come from the seeded source passed to
+	// NewJitter, keeping schedules reproducible.
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 100 * time.Millisecond
+	}
+	if b.Multiplier <= 1 {
+		b.Multiplier = 2
+	}
+	if b.Jitter < 0 || b.Jitter >= 1 {
+		b.Jitter = 0.2
+	}
+	return b
+}
+
+// Jitter is a concurrency-safe seeded uniform source for backoff jitter.
+type Jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewJitter seeds a jitter source.
+func NewJitter(seed int64) *Jitter {
+	return &Jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (j *Jitter) float64() float64 {
+	if j == nil {
+		return 0.5
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.Float64()
+}
+
+// Delay returns the sleep before retry number attempt (attempt 1 is the
+// first retry). A nil Jitter uses the midpoint deterministically.
+func (b Backoff) Delay(attempt int, j *Jitter) time.Duration {
+	b = b.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(b.Base)
+	for i := 1; i < attempt; i++ {
+		d *= b.Multiplier
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	// Shave off up to Jitter of the delay so synchronized retriers spread.
+	d -= d * b.Jitter * j.float64()
+	return time.Duration(d)
+}

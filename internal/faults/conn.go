@@ -1,0 +1,53 @@
+package faults
+
+import (
+	"errors"
+	"net"
+)
+
+// Conn wraps a net.Conn with injection on Read and Write (operations
+// "read" and "write"). A Drop or Crash fault closes the underlying
+// connection before returning the error, so the peer observes a real
+// connection loss, not just a local error.
+type Conn struct {
+	net.Conn
+	inj       *Injector
+	component string
+	peer      string
+}
+
+// WrapConn attaches an injector to a connection. A nil injector returns the
+// connection unchanged.
+func WrapConn(c net.Conn, inj *Injector, component, peer string) net.Conn {
+	if inj == nil {
+		return c
+	}
+	return &Conn{Conn: c, inj: inj, component: component, peer: peer}
+}
+
+func (c *Conn) inject(op string) error {
+	err := c.inj.Check(c.component, op, c.peer)
+	if err == nil {
+		return nil
+	}
+	if IsCrash(err) || errors.Is(err, ErrDropped) {
+		c.Conn.Close()
+	}
+	return err
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.inject("read"); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.inject("write"); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}

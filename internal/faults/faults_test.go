@@ -1,0 +1,228 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 10; i++ {
+		if err := in.Check("c", "op", "p"); err != nil {
+			t.Fatalf("nil injector injected: %v", err)
+		}
+	}
+	in.Add(Rule{})
+	in.Partition("a", "b")
+	in.CrashComponent("c")
+	if in.Crashed("c") || in.Count("c", "op") != 0 {
+		t.Fatal("nil injector has state")
+	}
+}
+
+func TestRuleWindowAndCounting(t *testing.T) {
+	in := New(1, Rule{Component: "c", Operation: "op", After: 2, Until: 4})
+	var errs []bool
+	for i := 0; i < 6; i++ {
+		errs = append(errs, in.Check("c", "op", "") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Fatalf("call %d: injected=%v, want %v (all: %v)", i+1, errs[i], want[i], errs)
+		}
+	}
+	if n := in.Count("c", "op"); n != 6 {
+		t.Fatalf("Count = %d, want 6", n)
+	}
+}
+
+func TestRuleEvery(t *testing.T) {
+	in := New(1, Rule{Operation: "op", Every: 3})
+	var fired int
+	for i := 0; i < 9; i++ {
+		if in.Check("c", "op", "") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("Every=3 fired %d times over 9 calls, want 3", fired)
+	}
+}
+
+func TestWildcardsAndMismatch(t *testing.T) {
+	in := New(1, Rule{Component: "a", Operation: "read"})
+	if in.Check("b", "read", "") != nil {
+		t.Fatal("rule fired for wrong component")
+	}
+	if in.Check("a", "write", "") != nil {
+		t.Fatal("rule fired for wrong operation")
+	}
+	if in.Check("a", "read", "anyone") == nil {
+		t.Fatal("rule did not fire on match")
+	}
+}
+
+func TestProbabilityDeterministicUnderSeed(t *testing.T) {
+	run := func() []bool {
+		in := New(42, Rule{Operation: "call", Probability: 0.3})
+		var out []bool
+		for i := 0; i < 50; i++ {
+			out = append(out, in.Check("c", "call", "") != nil)
+		}
+		return out
+	}
+	a, b := run(), run()
+	var fired int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 50 {
+		t.Fatalf("p=0.3 fired %d/50 times", fired)
+	}
+}
+
+func TestCrashIsPermanent(t *testing.T) {
+	in := New(1, Rule{Component: "node", After: 1, Action: Crash})
+	if err := in.Check("node", "read", ""); err != nil {
+		t.Fatalf("first call should pass: %v", err)
+	}
+	err := in.Check("node", "read", "")
+	if !IsCrash(err) {
+		t.Fatalf("second call: %v, want crash", err)
+	}
+	// Any operation on the component now fails, forever.
+	if err := in.Check("node", "write", "x"); !IsCrash(err) {
+		t.Fatalf("post-crash op: %v", err)
+	}
+	if !in.Crashed("node") {
+		t.Fatal("Crashed() = false after crash")
+	}
+	if in.Check("other", "read", "") != nil {
+		t.Fatal("crash leaked to another component")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	in := New(1)
+	in.Partition("a", "b")
+	if err := in.Check("a", "send", "b"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("a->b: %v", err)
+	}
+	if err := in.Check("b", "send", "a"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("b->a: %v", err)
+	}
+	if in.Check("a", "send", "c") != nil {
+		t.Fatal("partition leaked to third party")
+	}
+	in.Heal("a", "b")
+	if in.Check("a", "send", "b") != nil {
+		t.Fatal("healed partition still fails")
+	}
+}
+
+func TestDelayActionSleepsThenSucceeds(t *testing.T) {
+	in := New(1, Rule{Operation: "op", Action: Delay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := in.Check("c", "op", ""); err != nil {
+		t.Fatalf("delay action errored: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay action slept only %v", d)
+	}
+}
+
+func TestInjectedErrorsClassify(t *testing.T) {
+	in := New(1, Rule{Operation: "fail"})
+	if err := in.Check("c", "fail", ""); !IsInjected(err) {
+		t.Fatalf("Fail: %v", err)
+	}
+	custom := errors.New("custom")
+	in2 := New(1, Rule{Operation: "fail", Err: custom})
+	if err := in2.Check("c", "fail", ""); !errors.Is(err, custom) {
+		t.Fatalf("custom error lost: %v", err)
+	}
+}
+
+func TestWrapConnDropClosesConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(1, Rule{Component: "cli", Operation: "write", After: 1, Action: Drop})
+	conn := WrapConn(raw, in, "cli", "srv")
+	if _, err := conn.Write([]byte("ok")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := conn.Write([]byte("boom")); !errors.Is(err, ErrDropped) {
+		t.Fatalf("second write: %v, want drop", err)
+	}
+	// The underlying socket must actually be closed: the peer sees EOF
+	// after draining the first write.
+	srv := <-accepted
+	defer srv.Close()
+	srv.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	n, _ := srv.Read(buf)
+	if string(buf[:n]) != "ok" {
+		t.Fatalf("peer read %q", buf[:n])
+	}
+	if _, err := srv.Read(buf); err == nil {
+		t.Fatal("peer connection still open after injected drop")
+	}
+}
+
+func TestWrapConnNilInjectorPassThrough(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if WrapConn(a, nil, "c", "p") != a {
+		t.Fatal("nil injector wrapped the conn")
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Max: 8 * time.Millisecond, Multiplier: 2, Jitter: 0}
+	wants := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 8 * time.Millisecond,
+	}
+	for i, want := range wants {
+		if got := b.Delay(i+1, nil); got != want {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, got, want)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministicUnderSeed(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: time.Second, Jitter: 0.5}
+	j1, j2 := NewJitter(7), NewJitter(7)
+	for i := 1; i <= 10; i++ {
+		d1, d2 := b.Delay(i, j1), b.Delay(i, j2)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: %v vs %v under same seed", i, d1, d2)
+		}
+		if d1 <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", i, d1)
+		}
+	}
+}

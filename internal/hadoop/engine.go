@@ -12,6 +12,16 @@
 // HTTP shuffle + per-task scheduling) versus the MPI-D path (pre-spawned
 // ranks + buffered/combined/realigned MPI messages) — on one machine, with
 // every byte crossing real sockets.
+//
+// The engine is fault tolerant in the Hadoop mold: failed tasks are
+// re-queued and re-executed up to Config.MaxTaskAttempts; tasktrackers
+// that stop heartbeating are declared lost after Config.TrackerTimeout and
+// their work (including already-completed map outputs, which died with
+// their shuffle server) is re-executed elsewhere; reducers that cannot
+// fetch a map output report the failure and are redirected to the
+// replacement execution. Heartbeats carry a sequence number so a retried
+// heartbeat RPC replays the cached response instead of double-assigning
+// tasks — the responseId mechanism of Hadoop's InterTrackerProtocol.
 package hadoop
 
 import (
@@ -21,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ict-repro/mpid/internal/faults"
 	"github.com/ict-repro/mpid/internal/hadooprpc"
 	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mapred"
@@ -43,6 +54,25 @@ type Config struct {
 	// CopierThreads is the number of parallel shuffle fetchers per reduce
 	// task (mapred.reduce.parallel.copies; default 5).
 	CopierThreads int
+	// MaxTaskAttempts bounds how many times one task may be attempted
+	// before the job aborts (mapred.map.max.attempts; default 4).
+	// Re-executions forced by tracker loss are not charged against it.
+	MaxTaskAttempts int
+	// TrackerTimeout is how long a tracker may go without heartbeating
+	// before the jobtracker declares it lost and re-queues its tasks
+	// (default max(500 ms, 150 heartbeats); negative disables liveness
+	// detection).
+	TrackerTimeout time.Duration
+	// RPC configures the tasktrackers' jobtracker clients and, via
+	// MaxAttempts/Backoff, the shuffle fetch retry budget. The zero value
+	// keeps the fail-fast defaults.
+	RPC hadooprpc.Options
+	// Injector, when set, threads fault injection through the cluster:
+	// tracker i is the component "hadoop.tracker<i>" (operation
+	// "heartbeat"; a Crash kills it abruptly, shuffle server included),
+	// its RPC client uses the hadooprpc injection points, and its shuffle
+	// fetches the jetty ones.
+	Injector *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -64,7 +94,25 @@ func (c Config) withDefaults() Config {
 	if c.CopierThreads <= 0 {
 		c.CopierThreads = 5
 	}
+	if c.MaxTaskAttempts <= 0 {
+		c.MaxTaskAttempts = 4
+	}
+	if c.TrackerTimeout == 0 {
+		c.TrackerTimeout = 150 * c.Heartbeat
+		if c.TrackerTimeout < 500*time.Millisecond {
+			c.TrackerTimeout = 500 * time.Millisecond
+		}
+	}
 	return c
+}
+
+// rpcOptions is the client configuration handed to each tasktracker.
+func (c Config) rpcOptions() hadooprpc.Options {
+	o := c.RPC
+	if o.Injector == nil {
+		o.Injector = c.Injector
+	}
+	return o
 }
 
 // Protocol identity for the jobtracker RPC service.
@@ -81,9 +129,16 @@ const (
 	actJobDone      = 4
 )
 
+// Task kinds on the wire.
+const (
+	taskKindMap    = "m"
+	taskKindReduce = "r"
+)
+
 // Run executes the job over the given splits on a fresh mini-cluster and
 // returns the collected result. It is the Hadoop-path analogue of
-// mapred.Run.
+// mapred.Run. The job succeeds as long as every reduce completes, even if
+// individual tasktrackers crashed along the way.
 func Run(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.Result, error) {
 	if job.Mapper == nil || job.Reducer == nil {
 		return nil, errors.New("hadoop: job needs Mapper and Reducer")
@@ -103,7 +158,7 @@ func Run(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.Result, err
 	var wg sync.WaitGroup
 	trackerErrs := make([]error, cfg.NumTrackers)
 	for i := 0; i < cfg.NumTrackers; i++ {
-		tt, err := newTaskTracker(addr, job, splits, cfg)
+		tt, err := newTaskTracker(i, addr, job, splits, cfg)
 		if err != nil {
 			jt.abort(fmt.Errorf("hadoop: tracker %d: %w", i, err))
 			break
@@ -119,6 +174,25 @@ func Run(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.Result, err
 
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
+	if jt.reducesDone == job.NumReducers {
+		// Complete output trumps tracker obituaries: crashed trackers are
+		// the fault model working, not a job failure.
+		maxExec, reexec := 0, 0
+		for _, n := range jt.executions {
+			if n > maxExec {
+				maxExec = n
+			}
+			if n > 1 {
+				reexec += n - 1
+			}
+		}
+		return &mapred.Result{
+			ByReducer:         jt.outputs,
+			MapTasks:          len(splits),
+			FailedAttempts:    reexec,
+			MaxTaskExecutions: maxExec,
+		}, nil
+	}
 	if jt.failure != nil {
 		return nil, jt.failure
 	}
@@ -127,14 +201,7 @@ func Run(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.Result, err
 			return nil, err
 		}
 	}
-	if jt.reducesDone != job.NumReducers {
-		return nil, fmt.Errorf("hadoop: job ended with %d/%d reduces done", jt.reducesDone, job.NumReducers)
-	}
-	result := &mapred.Result{
-		ByReducer: jt.outputs,
-		MapTasks:  len(splits),
-	}
-	return result, nil
+	return nil, fmt.Errorf("hadoop: job ended with %d/%d reduces done", jt.reducesDone, job.NumReducers)
 }
 
 // --------------------------------------------------------------------------
@@ -143,6 +210,10 @@ func Run(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.Result, err
 type trackerInfo struct {
 	id        int
 	jettyAddr string
+	lastSeen  time.Time
+	lost      bool
+	lastSeq   int64  // last heartbeat sequence number answered
+	lastResp  []byte // its cached response, replayed on retried heartbeats
 }
 
 type jobTracker struct {
@@ -150,31 +221,48 @@ type jobTracker struct {
 	splits []mapred.Split
 	cfg    Config
 
-	srv *hadooprpc.Server
+	srv     *hadooprpc.Server
+	done    chan struct{}
+	sweeper sync.WaitGroup
 
-	mu          sync.Mutex
-	trackers    []trackerInfo
-	pendingMaps []int
-	mapsDone    int
-	mapLocation map[int]int  // map task -> tracker id (provisional at assign)
-	completed   map[int]bool // map tasks that reported completion
-	nextReduce  int
-	reducesDone int
-	outputs     [][]kv.Pair
-	failure     error
+	mu             sync.Mutex
+	trackers       []*trackerInfo
+	pendingMaps    []int
+	runningMaps    map[int]int // map task -> tracker currently executing it
+	completed      map[int]bool
+	mapsDone       int
+	mapLocation    map[int]int // completed map -> tracker serving its output
+	pendingReduces []int
+	runningReduces map[int]int
+	doneReduces    map[int]bool
+	reducesDone    int
+	outputs        [][]kv.Pair
+	attempts       map[string]int // task key -> failure-charged attempts
+	executions     map[string]int // task key -> times launched
+	failure        error
 }
+
+func taskKey(kind string, id int) string { return fmt.Sprintf("%s%d", kind, id) }
 
 func newJobTracker(job mapred.Job, splits []mapred.Split, cfg Config) *jobTracker {
 	jt := &jobTracker{
-		job:         job,
-		splits:      splits,
-		cfg:         cfg,
-		mapLocation: make(map[int]int),
-		completed:   make(map[int]bool),
-		outputs:     make([][]kv.Pair, job.NumReducers),
+		job:            job,
+		splits:         splits,
+		cfg:            cfg,
+		runningMaps:    make(map[int]int),
+		completed:      make(map[int]bool),
+		mapLocation:    make(map[int]int),
+		runningReduces: make(map[int]int),
+		doneReduces:    make(map[int]bool),
+		outputs:        make([][]kv.Pair, job.NumReducers),
+		attempts:       make(map[string]int),
+		executions:     make(map[string]int),
 	}
 	for i := range splits {
 		jt.pendingMaps = append(jt.pendingMaps, i)
+	}
+	for r := 0; r < job.NumReducers; r++ {
+		jt.pendingReduces = append(jt.pendingReduces, r)
 	}
 	return jt
 }
@@ -190,21 +278,110 @@ func (jt *jobTracker) start() (string, error) {
 			"mapCompleted":    jt.handleMapCompleted,
 			"reduceCompleted": jt.handleReduceCompleted,
 			"taskFailed":      jt.handleTaskFailed,
+			"fetchFailed":     jt.handleFetchFailed,
 			"mapLocations":    jt.handleMapLocations,
 		},
 	})
-	return jt.srv.Listen("127.0.0.1:0")
+	addr, err := jt.srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	if jt.cfg.TrackerTimeout > 0 {
+		jt.done = make(chan struct{})
+		jt.sweeper.Add(1)
+		go jt.sweepLoop()
+	}
+	return addr, nil
 }
 
 func (jt *jobTracker) stop() {
+	if jt.done != nil {
+		close(jt.done)
+		jt.sweeper.Wait()
+	}
 	jt.srv.Close()
 }
 
 func (jt *jobTracker) abort(err error) {
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
+	jt.abortLocked(err)
+}
+
+func (jt *jobTracker) abortLocked(err error) {
 	if jt.failure == nil {
 		jt.failure = err
+	}
+}
+
+// sweepLoop is the liveness detector: trackers silent past TrackerTimeout
+// are declared lost and their work re-queued.
+func (jt *jobTracker) sweepLoop() {
+	defer jt.sweeper.Done()
+	interval := jt.cfg.TrackerTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-jt.done:
+			return
+		case now := <-ticker.C:
+			jt.sweep(now)
+		}
+	}
+}
+
+func (jt *jobTracker) sweep(now time.Time) {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	if jt.failure != nil || jt.reducesDone == jt.job.NumReducers || len(jt.trackers) == 0 {
+		return
+	}
+	alive := 0
+	for _, tr := range jt.trackers {
+		if tr.lost {
+			continue
+		}
+		if now.Sub(tr.lastSeen) > jt.cfg.TrackerTimeout {
+			jt.markLostLocked(tr)
+		} else {
+			alive++
+		}
+	}
+	if alive == 0 {
+		jt.abortLocked(errors.New("hadoop: all tasktrackers lost"))
+	}
+}
+
+// markLostLocked declares a tracker dead: its running tasks go back to the
+// queues, and its completed map outputs — which lived in its now-dead
+// shuffle server — are marked incomplete so the maps re-execute elsewhere.
+// These re-executions are the tracker's fault, not the tasks', so no
+// attempt budget is charged.
+func (jt *jobTracker) markLostLocked(tr *trackerInfo) {
+	tr.lost = true
+	for task, owner := range jt.runningMaps {
+		if owner == tr.id {
+			delete(jt.runningMaps, task)
+			jt.pendingMaps = append(jt.pendingMaps, task)
+		}
+	}
+	for task, done := range jt.completed {
+		if done && jt.mapLocation[task] == tr.id {
+			jt.completed[task] = false
+			jt.mapsDone--
+			delete(jt.mapLocation, task)
+			jt.pendingMaps = append(jt.pendingMaps, task)
+		}
+	}
+	for task, owner := range jt.runningReduces {
+		if owner == tr.id {
+			delete(jt.runningReduces, task)
+			jt.pendingReduces = append(jt.pendingReduces, task)
+		}
 	}
 }
 
@@ -216,35 +393,57 @@ func (jt *jobTracker) handleRegister(params [][]byte) ([]byte, error) {
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
 	id := len(jt.trackers)
-	jt.trackers = append(jt.trackers, trackerInfo{id: id, jettyAddr: string(params[0])})
+	jt.trackers = append(jt.trackers, &trackerInfo{
+		id:        id,
+		jettyAddr: string(params[0]),
+		lastSeen:  time.Now(),
+	})
 	return kv.AppendVLong(nil, int64(id)), nil
 }
 
-// handleHeartbeat: [trackerID, freeMapSlots, freeReduceSlots] -> action
-// list. At most one map and one reduce launch per heartbeat, the 0.20
-// behaviour.
+// handleHeartbeat: [trackerID, seq, freeMapSlots, freeReduceSlots] ->
+// action list. At most one map and one reduce launch per heartbeat, the
+// 0.20 behaviour. A repeated seq replays the cached response, so a
+// transport-level retry of a lost response cannot double-assign tasks.
 func (jt *jobTracker) handleHeartbeat(params [][]byte) ([]byte, error) {
-	if len(params) != 3 {
-		return nil, errors.New("heartbeat wants 3 parameters")
+	if len(params) != 4 {
+		return nil, errors.New("heartbeat wants 4 parameters")
 	}
 	trackerID, _, err := kv.ReadVLong(params[0])
 	if err != nil {
 		return nil, err
 	}
-	freeMap, _, err := kv.ReadVLong(params[1])
+	seq, _, err := kv.ReadVLong(params[1])
 	if err != nil {
 		return nil, err
 	}
-	freeReduce, _, err := kv.ReadVLong(params[2])
+	freeMap, _, err := kv.ReadVLong(params[2])
+	if err != nil {
+		return nil, err
+	}
+	freeReduce, _, err := kv.ReadVLong(params[3])
 	if err != nil {
 		return nil, err
 	}
 
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
+	if trackerID < 0 || int(trackerID) >= len(jt.trackers) {
+		return nil, fmt.Errorf("unknown tracker %d", trackerID)
+	}
+	tr := jt.trackers[trackerID]
+	tr.lastSeen = time.Now()
+	if seq == tr.lastSeq && tr.lastResp != nil {
+		return tr.lastResp, nil
+	}
+
 	var resp []byte
 	switch {
 	case jt.failure != nil:
+		resp = kv.AppendVLong(resp, actAbort)
+	case tr.lost:
+		// Its tasks were re-queued on loss; completions from it are being
+		// ignored. Working further is pointless.
 		resp = kv.AppendVLong(resp, actAbort)
 	case jt.reducesDone == jt.job.NumReducers:
 		resp = kv.AppendVLong(resp, actJobDone)
@@ -252,21 +451,31 @@ func (jt *jobTracker) handleHeartbeat(params [][]byte) ([]byte, error) {
 		if freeMap > 0 && len(jt.pendingMaps) > 0 {
 			task := jt.pendingMaps[0]
 			jt.pendingMaps = jt.pendingMaps[1:]
-			jt.mapLocation[task] = int(trackerID) // provisional; confirmed on completion
+			jt.runningMaps[task] = tr.id
+			jt.executions[taskKey(taskKindMap, task)]++
 			resp = kv.AppendVLong(resp, actLaunchMap)
 			resp = kv.AppendVLong(resp, int64(task))
 		}
 		slowstartMet := float64(jt.mapsDone) >= jt.cfg.SlowstartFraction*float64(len(jt.splits))
-		if freeReduce > 0 && slowstartMet && jt.nextReduce < jt.job.NumReducers {
+		if freeReduce > 0 && slowstartMet && len(jt.pendingReduces) > 0 {
+			task := jt.pendingReduces[0]
+			jt.pendingReduces = jt.pendingReduces[1:]
+			jt.runningReduces[task] = tr.id
+			jt.executions[taskKey(taskKindReduce, task)]++
 			resp = kv.AppendVLong(resp, actLaunchReduce)
-			resp = kv.AppendVLong(resp, int64(jt.nextReduce))
-			jt.nextReduce++
+			resp = kv.AppendVLong(resp, int64(task))
 		}
 	}
+	if resp == nil {
+		resp = []byte{} // cacheable empty response
+	}
+	tr.lastSeq, tr.lastResp = seq, resp
 	return resp, nil
 }
 
-// handleMapCompleted: [trackerID, mapID].
+// handleMapCompleted: [trackerID, mapID]. Idempotent; completions from
+// trackers already declared lost are ignored (their shuffle output is
+// unreachable and the map was re-queued).
 func (jt *jobTracker) handleMapCompleted(params [][]byte) ([]byte, error) {
 	if len(params) != 2 {
 		return nil, errors.New("mapCompleted wants 2 parameters")
@@ -281,63 +490,177 @@ func (jt *jobTracker) handleMapCompleted(params [][]byte) ([]byte, error) {
 	}
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
-	jt.mapLocation[int(mapID)] = int(trackerID)
-	if !jt.completed[int(mapID)] {
-		jt.completed[int(mapID)] = true
+	if trackerID < 0 || int(trackerID) >= len(jt.trackers) {
+		return nil, fmt.Errorf("unknown tracker %d", trackerID)
+	}
+	if jt.trackers[trackerID].lost {
+		return nil, nil
+	}
+	task := int(mapID)
+	if owner, running := jt.runningMaps[task]; running && owner == int(trackerID) {
+		delete(jt.runningMaps, task)
+	}
+	jt.mapLocation[task] = int(trackerID)
+	if !jt.completed[task] {
+		jt.completed[task] = true
 		jt.mapsDone++
 	}
 	return nil, nil
 }
 
-// handleReduceCompleted: [reduceID, framedPairs].
+// handleReduceCompleted: [trackerID, reduceID, framedPairs]. Idempotent —
+// duplicate completions (retried RPCs, speculative re-executions after a
+// tracker was wrongly presumed lost) are dropped.
 func (jt *jobTracker) handleReduceCompleted(params [][]byte) ([]byte, error) {
-	if len(params) != 2 {
-		return nil, errors.New("reduceCompleted wants 2 parameters")
+	if len(params) != 3 {
+		return nil, errors.New("reduceCompleted wants 3 parameters")
 	}
-	reduceID, _, err := kv.ReadVLong(params[0])
+	trackerID, _, err := kv.ReadVLong(params[0])
 	if err != nil {
 		return nil, err
 	}
-	pairs, err := decodePairs(params[1])
+	reduceID, _, err := kv.ReadVLong(params[1])
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := decodePairs(params[2])
 	if err != nil {
 		return nil, err
 	}
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
+	if trackerID < 0 || int(trackerID) >= len(jt.trackers) {
+		return nil, fmt.Errorf("unknown tracker %d", trackerID)
+	}
 	if int(reduceID) < 0 || int(reduceID) >= len(jt.outputs) {
 		return nil, fmt.Errorf("reduce id %d out of range", reduceID)
 	}
-	jt.outputs[reduceID] = pairs
+	if jt.trackers[trackerID].lost || jt.doneReduces[int(reduceID)] {
+		return nil, nil
+	}
+	task := int(reduceID)
+	if owner, running := jt.runningReduces[task]; running && owner == int(trackerID) {
+		delete(jt.runningReduces, task)
+	}
+	jt.outputs[task] = pairs
+	jt.doneReduces[task] = true
 	jt.reducesDone++
 	return nil, nil
 }
 
-// handleTaskFailed: [message] — the job aborts (no retries in the mini
-// engine; internal/mapred demonstrates retry scheduling).
+// handleTaskFailed: [trackerID, kind, taskID, message]. The task is
+// re-queued and charged one attempt; past MaxTaskAttempts the job aborts
+// with the task's error.
 func (jt *jobTracker) handleTaskFailed(params [][]byte) ([]byte, error) {
-	msg := "task failed"
-	if len(params) == 1 {
-		msg = string(params[0])
+	if len(params) != 4 {
+		return nil, errors.New("taskFailed wants 4 parameters")
 	}
-	jt.abort(errors.New("hadoop: " + msg))
+	trackerID, _, err := kv.ReadVLong(params[0])
+	if err != nil {
+		return nil, err
+	}
+	kind := string(params[1])
+	taskID, _, err := kv.ReadVLong(params[2])
+	if err != nil {
+		return nil, err
+	}
+	msg := string(params[3])
+	if kind != taskKindMap && kind != taskKindReduce {
+		return nil, fmt.Errorf("unknown task kind %q", kind)
+	}
+
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	if trackerID < 0 || int(trackerID) >= len(jt.trackers) {
+		return nil, fmt.Errorf("unknown tracker %d", trackerID)
+	}
+	if jt.trackers[trackerID].lost {
+		return nil, nil // already re-queued by markLostLocked
+	}
+	task := int(taskID)
+	key := taskKey(kind, task)
+	jt.attempts[key]++
+	if jt.attempts[key] >= jt.cfg.MaxTaskAttempts {
+		jt.abortLocked(fmt.Errorf("hadoop: task %s failed %d times, giving up: %s",
+			key, jt.attempts[key], msg))
+		return nil, nil
+	}
+	if kind == taskKindMap {
+		if owner, running := jt.runningMaps[task]; running && owner == int(trackerID) {
+			delete(jt.runningMaps, task)
+			jt.pendingMaps = append(jt.pendingMaps, task)
+		}
+	} else {
+		if owner, running := jt.runningReduces[task]; running && owner == int(trackerID) {
+			delete(jt.runningReduces, task)
+			jt.pendingReduces = append(jt.pendingReduces, task)
+		}
+	}
+	return nil, nil
+}
+
+// handleFetchFailed: [reduceID, mapID, trackerID] — a reducer could not
+// fetch a completed map's output from the tracker serving it. The map is
+// marked incomplete and re-queued (charging one attempt), and the reducer
+// is redirected to the re-execution through its mapLocations polling.
+func (jt *jobTracker) handleFetchFailed(params [][]byte) ([]byte, error) {
+	if len(params) != 3 {
+		return nil, errors.New("fetchFailed wants 3 parameters")
+	}
+	if _, _, err := kv.ReadVLong(params[0]); err != nil { // reduceID, informational
+		return nil, err
+	}
+	mapID, _, err := kv.ReadVLong(params[1])
+	if err != nil {
+		return nil, err
+	}
+	trackerID, _, err := kv.ReadVLong(params[2])
+	if err != nil {
+		return nil, err
+	}
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	task := int(mapID)
+	// Only the first report for this (map, location) acts; later ones find
+	// the map already un-completed or moved.
+	if !jt.completed[task] || jt.mapLocation[task] != int(trackerID) {
+		return nil, nil
+	}
+	key := taskKey(taskKindMap, task)
+	jt.attempts[key]++
+	if jt.attempts[key] >= jt.cfg.MaxTaskAttempts {
+		jt.abortLocked(fmt.Errorf("hadoop: map %d unfetchable after %d attempts", task, jt.attempts[key]))
+		return nil, nil
+	}
+	jt.completed[task] = false
+	jt.mapsDone--
+	delete(jt.mapLocation, task)
+	if _, running := jt.runningMaps[task]; !running {
+		jt.pendingMaps = append(jt.pendingMaps, task)
+	}
 	return nil, nil
 }
 
 // handleMapLocations: [] -> [count, then per completed map: mapID,
-// jettyAddr]. Reducers poll this until every map is present — the event
-// stream a real reduce task's copier follows.
+// trackerID, jettyAddr]. Reducers poll this until every map is present —
+// the event stream a real reduce task's copier follows. The trackerID lets
+// a reducer report fetch failures against the right server.
 func (jt *jobTracker) handleMapLocations(params [][]byte) ([]byte, error) {
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
 	done := make([]int, 0, len(jt.completed))
-	for task := range jt.completed {
-		done = append(done, task)
+	for task, ok := range jt.completed {
+		if ok {
+			done = append(done, task)
+		}
 	}
 	sort.Ints(done)
 	resp := kv.AppendVLong(nil, int64(len(done)))
 	for _, task := range done {
+		loc := jt.mapLocation[task]
 		resp = kv.AppendVLong(resp, int64(task))
-		resp = kv.AppendBytes(resp, []byte(jt.trackers[jt.mapLocation[task]].jettyAddr))
+		resp = kv.AppendVLong(resp, int64(loc))
+		resp = kv.AppendBytes(resp, []byte(jt.trackers[loc].jettyAddr))
 	}
 	return resp, nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/ict-repro/mpid/internal/core"
+	"github.com/ict-repro/mpid/internal/faults"
 	"github.com/ict-repro/mpid/internal/hadooprpc"
 	"github.com/ict-repro/mpid/internal/jetty"
 	"github.com/ict-repro/mpid/internal/kv"
@@ -19,11 +20,21 @@ const jobName = "job_local_0001"
 // taskTracker runs tasks for one simulated machine: an RPC client to the
 // jobtracker, an embedded jetty server holding this tracker's map outputs,
 // and slot-bounded worker pools.
+//
+// A task that fails is reported per-task (taskFailed) and the tracker keeps
+// serving; the jobtracker decides between re-queueing and aborting. The
+// tracker itself dies in two ways: orderly — a heartbeat-level error drains
+// running tasks and reports partial progress in its error — or abruptly,
+// when an injected Crash kills it mid-heartbeat, taking its shuffle server
+// (and every map output it held) down with it.
 type taskTracker struct {
-	id     int
+	idx    int // slot index in the cluster, names the fault component
+	id     int // jobtracker-assigned id
+	comp   string
 	job    mapred.Job
 	splits []mapred.Split
 	cfg    Config
+	inj    *faults.Injector
 
 	rpc       *hadooprpc.MuxClient
 	store     *jetty.Store
@@ -35,29 +46,45 @@ type taskTracker struct {
 	reduceSem chan struct{}
 	tasks     sync.WaitGroup
 
-	mu       sync.Mutex
-	taskErr  error
-	aborting bool
+	mu         sync.Mutex
+	taskErr    error
+	aborting   bool
+	mapsRun    int // completed map tasks, for partial-progress reporting
+	reducesRun int // completed reduce tasks
+	mapsFailed int
+	redsFailed int
 }
 
-func newTaskTracker(jtAddr string, job mapred.Job, splits []mapred.Split, cfg Config) (*taskTracker, error) {
+func newTaskTracker(idx int, jtAddr string, job mapred.Job, splits []mapred.Split, cfg Config) (*taskTracker, error) {
 	tt := &taskTracker{
+		idx:       idx,
+		comp:      fmt.Sprintf("hadoop.tracker%d", idx),
 		job:       job,
 		splits:    splits,
 		cfg:       cfg,
+		inj:       cfg.Injector,
 		store:     jetty.NewStore(),
 		fetch:     jetty.NewClient(),
 		mapSem:    make(chan struct{}, cfg.MapSlots),
 		reduceSem: make(chan struct{}, cfg.ReduceSlots),
 	}
+	// The shuffle fetch client shares the RPC retry budget and the fault
+	// injector.
+	tt.fetch.MaxAttempts = cfg.RPC.MaxAttempts
+	tt.fetch.Backoff = cfg.RPC.Backoff
+	tt.fetch.Injector = cfg.Injector
+	tt.fetch.SetSeed(int64(idx) + 1)
+
 	tt.jettySrv = jetty.NewServer(tt.store)
+	tt.jettySrv.Injector = cfg.Injector
+	tt.jettySrv.Component = tt.comp + ".jetty"
 	addr, err := tt.jettySrv.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	tt.jettyAddr = addr
 
-	tt.rpc, err = hadooprpc.DialMux(jtAddr, jtProtocolName, jtProtocolVersion)
+	tt.rpc, err = hadooprpc.DialMuxOptions(jtAddr, jtProtocolName, jtProtocolVersion, cfg.rpcOptions())
 	if err != nil {
 		tt.jettySrv.Close()
 		return nil, err
@@ -82,32 +109,75 @@ func (tt *taskTracker) close() {
 	tt.fetch.Close()
 }
 
-func (tt *taskTracker) fail(err error) {
+// noteErr records a tracker-level problem (not a task failure).
+func (tt *taskTracker) noteErr(err error) {
 	tt.mu.Lock()
+	defer tt.mu.Unlock()
 	if tt.taskErr == nil {
 		tt.taskErr = err
 	}
+}
+
+// reportTaskFailed tells the jobtracker one task attempt failed. The
+// tracker itself stays up; re-queue vs abort is the jobtracker's call.
+func (tt *taskTracker) reportTaskFailed(kind string, task int, taskErr error) {
+	tt.mu.Lock()
+	if kind == taskKindMap {
+		tt.mapsFailed++
+	} else {
+		tt.redsFailed++
+	}
 	tt.mu.Unlock()
-	// Report once; the jobtracker aborts the job.
-	_, _ = tt.rpc.Call("taskFailed", []byte(err.Error()))
+	if _, err := tt.rpc.Call("taskFailed",
+		kv.AppendVLong(nil, int64(tt.id)),
+		[]byte(kind),
+		kv.AppendVLong(nil, int64(task)),
+		[]byte(taskErr.Error())); err != nil {
+		tt.noteErr(fmt.Errorf("hadoop: reporting %s task %d failure: %w", kind, task, err))
+	}
+}
+
+// progress summarizes completed work for partial-progress error reports.
+func (tt *taskTracker) progress() string {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return fmt.Sprintf("%d maps and %d reduces completed, %d/%d attempts failed",
+		tt.mapsRun, tt.reducesRun, tt.mapsFailed, tt.redsFailed)
 }
 
 // run is the heartbeat loop: report free slots, launch whatever comes back,
-// exit on job completion or abort.
+// exit on job completion or abort. Heartbeats carry a sequence number so
+// the jobtracker can replay a response whose first delivery was lost to a
+// transport failure.
 func (tt *taskTracker) run() error {
-	for {
+	for seq := int64(1); ; seq++ {
+		if err := tt.inj.Check(tt.comp, "heartbeat", ""); err != nil {
+			if faults.IsCrash(err) {
+				// Abrupt death: no goodbyes, no draining. The shuffle
+				// server dies too — completed map outputs become
+				// unreachable, exactly what a machine crash does.
+				tt.rpc.Close()
+				tt.jettySrv.Close()
+				return fmt.Errorf("hadoop: tracker %d crashed: %w", tt.idx, err)
+			}
+			time.Sleep(tt.cfg.Heartbeat) // transient: skip this beat
+			continue
+		}
 		resp, err := tt.rpc.Call("heartbeat",
 			kv.AppendVLong(nil, int64(tt.id)),
+			kv.AppendVLong(nil, seq),
 			kv.AppendVLong(nil, int64(free(tt.mapSem))),
 			kv.AppendVLong(nil, int64(free(tt.reduceSem))))
 		if err != nil {
+			// Orderly shutdown: drain running tasks, then report with
+			// partial progress.
 			tt.tasks.Wait()
-			return fmt.Errorf("hadoop: heartbeat: %w", err)
+			return fmt.Errorf("hadoop: tracker %d heartbeat: %w (%s)", tt.idx, err, tt.progress())
 		}
 		stop, err := tt.dispatch(resp)
 		if err != nil {
 			tt.tasks.Wait()
-			return err
+			return fmt.Errorf("%w (%s)", err, tt.progress())
 		}
 		if stop {
 			tt.tasks.Wait()
@@ -164,14 +234,18 @@ func (tt *taskTracker) launchMap(task int) {
 		defer tt.tasks.Done()
 		defer func() { <-tt.mapSem }()
 		if err := tt.runMapTask(task); err != nil {
-			tt.fail(fmt.Errorf("map task %d: %w", task, err))
+			tt.reportTaskFailed(taskKindMap, task, fmt.Errorf("map task %d: %w", task, err))
 			return
 		}
 		if _, err := tt.rpc.Call("mapCompleted",
 			kv.AppendVLong(nil, int64(tt.id)),
 			kv.AppendVLong(nil, int64(task))); err != nil {
-			tt.fail(err)
+			tt.noteErr(err)
+			return
 		}
+		tt.mu.Lock()
+		tt.mapsRun++
+		tt.mu.Unlock()
 	}()
 }
 
@@ -183,13 +257,18 @@ func (tt *taskTracker) launchReduce(task int) {
 		defer func() { <-tt.reduceSem }()
 		out, err := tt.runReduceTask(task)
 		if err != nil {
-			tt.fail(fmt.Errorf("reduce task %d: %w", task, err))
+			tt.reportTaskFailed(taskKindReduce, task, fmt.Errorf("reduce task %d: %w", task, err))
 			return
 		}
 		if _, err := tt.rpc.Call("reduceCompleted",
+			kv.AppendVLong(nil, int64(tt.id)),
 			kv.AppendVLong(nil, int64(task)), out); err != nil {
-			tt.fail(err)
+			tt.noteErr(err)
+			return
 		}
+		tt.mu.Lock()
+		tt.reducesRun++
+		tt.mu.Unlock()
 	}()
 }
 
@@ -239,10 +318,22 @@ func (tt *taskTracker) runMapTask(task int) error {
 	return nil
 }
 
+// mapOutputLoc is one completed map's shuffle address.
+type mapOutputLoc struct {
+	mapID     int
+	trackerID int
+	addr      string
+}
+
 // runReduceTask is the copy/sort/reduce lifecycle: poll the jobtracker for
 // completed map locations, fetch partitions over HTTP with a pool of
 // parallel copiers (mapred.reduce.parallel.copies), merge by key, sort, and
 // run the user reduce function.
+//
+// Each fetched output is parsed completely before it is merged, so a fetch
+// or parse failure leaves no partial state behind: the failure is reported
+// to the jobtracker (fetchFailed), the map is re-executed elsewhere, and
+// the next mapLocations poll redirects this reducer to the new copy.
 func (tt *taskTracker) runReduceTask(task int) ([]byte, error) {
 	fetched := make(map[int]bool, len(tt.splits))
 	merged := make(map[string][][]byte)
@@ -262,13 +353,14 @@ func (tt *taskTracker) runReduceTask(task int) ([]byte, error) {
 			return nil, err
 		}
 		locs = locs[n:]
-		type fetchJob struct {
-			mapID int
-			addr  string
-		}
-		var jobs []fetchJob
+		var jobs []mapOutputLoc
 		for i := int64(0); i < count; i++ {
 			mapID64, n, err := kv.ReadVLong(locs)
+			if err != nil {
+				return nil, err
+			}
+			locs = locs[n:]
+			trackerID64, n, err := kv.ReadVLong(locs)
 			if err != nil {
 				return nil, err
 			}
@@ -279,14 +371,16 @@ func (tt *taskTracker) runReduceTask(task int) ([]byte, error) {
 			}
 			locs = locs[n:]
 			if mapID := int(mapID64); !fetched[mapID] {
-				jobs = append(jobs, fetchJob{mapID: mapID, addr: string(addr)})
+				jobs = append(jobs, mapOutputLoc{mapID: mapID, trackerID: int(trackerID64), addr: string(addr)})
 			}
 		}
-		// Fetch the new outputs with bounded parallelism.
+		// Fetch the new outputs with bounded parallelism. A failed fetch
+		// is reported and skipped, not fatal: the map will move.
 		var (
-			wg       sync.WaitGroup
-			errMu    sync.Mutex
-			fetchErr error
+			wg        sync.WaitGroup
+			okMu      sync.Mutex
+			succeeded []int
+			failed    []mapOutputLoc
 		)
 		for _, j := range jobs {
 			j := j
@@ -295,42 +389,36 @@ func (tt *taskTracker) runReduceTask(task int) ([]byte, error) {
 			go func() {
 				defer wg.Done()
 				defer func() { <-copierSem }()
-				data, err := tt.fetch.FetchMapOutput(j.addr,
-					jetty.OutputKey{Job: jobName, Map: j.mapID, Reduce: task})
+				lists, err := tt.fetchAndParse(j, task)
 				if err != nil {
-					errMu.Lock()
-					if fetchErr == nil {
-						fetchErr = fmt.Errorf("fetch map %d: %w", j.mapID, err)
-					}
-					errMu.Unlock()
+					okMu.Lock()
+					failed = append(failed, j)
+					okMu.Unlock()
 					return
 				}
-				for len(data) > 0 {
-					klist, n, err := kv.ReadKeyList(data)
-					if err != nil {
-						errMu.Lock()
-						if fetchErr == nil {
-							fetchErr = fmt.Errorf("corrupt map %d output: %w", j.mapID, err)
-						}
-						errMu.Unlock()
-						return
-					}
-					data = data[n:]
-					k := string(klist.Key)
-					mergedMu.Lock()
-					merged[k] = append(merged[k], klist.Values...)
-					mergedMu.Unlock()
+				mergedMu.Lock()
+				for _, kl := range lists {
+					merged[string(kl.Key)] = append(merged[string(kl.Key)], kl.Values...)
 				}
+				mergedMu.Unlock()
+				okMu.Lock()
+				succeeded = append(succeeded, j.mapID)
+				okMu.Unlock()
 			}()
 		}
 		wg.Wait()
-		if fetchErr != nil {
-			return nil, fetchErr
+		for _, mapID := range succeeded {
+			fetched[mapID] = true
 		}
-		for _, j := range jobs {
-			fetched[j.mapID] = true
+		for _, j := range failed {
+			if _, err := tt.rpc.Call("fetchFailed",
+				kv.AppendVLong(nil, int64(task)),
+				kv.AppendVLong(nil, int64(j.mapID)),
+				kv.AppendVLong(nil, int64(j.trackerID))); err != nil {
+				return nil, err
+			}
 		}
-		if len(fetched) < len(tt.splits) && len(jobs) == 0 {
+		if len(fetched) < len(tt.splits) && len(succeeded) < len(jobs) {
 			time.Sleep(tt.cfg.Heartbeat)
 		}
 	}
@@ -352,6 +440,26 @@ func (tt *taskTracker) runReduceTask(task int) ([]byte, error) {
 		}
 	}
 	return out, nil
+}
+
+// fetchAndParse retrieves one map output partition and decodes it fully,
+// returning the key lists only if the whole body is well-formed.
+func (tt *taskTracker) fetchAndParse(j mapOutputLoc, reduce int) ([]kv.KeyList, error) {
+	data, err := tt.fetch.FetchMapOutput(j.addr,
+		jetty.OutputKey{Job: jobName, Map: j.mapID, Reduce: reduce})
+	if err != nil {
+		return nil, err
+	}
+	var lists []kv.KeyList
+	for len(data) > 0 {
+		klist, n, err := kv.ReadKeyList(data)
+		if err != nil {
+			return nil, fmt.Errorf("corrupt map %d output: %w", j.mapID, err)
+		}
+		lists = append(lists, klist)
+		data = data[n:]
+	}
+	return lists, nil
 }
 
 func (tt *taskTracker) isAborting() bool {

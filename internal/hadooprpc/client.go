@@ -3,9 +3,13 @@ package hadooprpc
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"github.com/ict-repro/mpid/internal/faults"
 )
 
 // Client is an RPC proxy for one protocol on one server, the analogue of
@@ -13,8 +17,16 @@ import (
 // connection, calls on one Client are serialized: one call is in flight at
 // a time. Concurrency requires multiple clients, which is exactly the
 // behaviour that throttles shuffle-over-RPC.
+//
+// A Client dialed with retry options (Options.MaxAttempts > 1) survives
+// transport failures: a failed call closes the connection, and the next
+// attempt redials and replays the call after a backoff.
 type Client struct {
+	addr     string
 	protocol string
+	version  int64
+	opts     Options
+	jit      *faults.Jitter
 
 	mu     sync.Mutex
 	conn   net.Conn
@@ -24,64 +36,145 @@ type Client struct {
 	closed bool
 }
 
-// Dial connects to the server, sends the connection header and performs the
-// VersionedProtocol handshake for the named protocol.
+// Dial connects with default options (10 s dial timeout, 30 s call
+// timeout, no retries): the fail-fast client the benchmarks use.
 func Dial(addr, protocol string, version int64) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
-	}
+	return DialOptions(addr, protocol, version, Options{})
+}
+
+// DialOptions connects to the server, sends the connection header and
+// performs the VersionedProtocol handshake for the named protocol.
+func DialOptions(addr, protocol string, version int64, opts Options) (*Client, error) {
 	c := &Client{
+		addr:     addr,
 		protocol: protocol,
-		conn:     conn,
-		r:        bufio.NewReaderSize(conn, 64*1024),
-		w:        bufio.NewWriterSize(conn, 64*1024),
+		version:  version,
+		opts:     opts.withDefaults(),
 	}
-	// Connection header.
-	if _, err := c.w.WriteString(headerMagic); err != nil {
-		conn.Close()
+	c.jit = faults.NewJitter(c.opts.Seed)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
 		return nil, err
-	}
-	if err := c.w.WriteByte(headerVersion); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if err := c.w.Flush(); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	// VersionedProtocol handshake.
-	var ver [8]byte
-	binary.BigEndian.PutUint64(ver[:], uint64(version))
-	got, err := c.Call(getProtocolVersionMethod, ver[:])
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("hadooprpc: handshake: %w", err)
-	}
-	if len(got) != 8 || int64(binary.BigEndian.Uint64(got)) != version {
-		conn.Close()
-		return nil, ErrVersionMismatch
 	}
 	return c, nil
 }
 
+// connectLocked dials, sends the connection header and runs the handshake.
+// On any failure the half-open connection is torn down.
+func (c *Client) connectLocked() error {
+	if err := c.opts.Injector.Check(c.opts.Component, "dial", c.addr); err != nil {
+		return err
+	}
+	d := net.Dialer{}
+	if c.opts.DialTimeout > 0 {
+		d.Timeout = c.opts.DialTimeout
+	}
+	conn, err := d.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	conn = faults.WrapConn(conn, c.opts.Injector, c.opts.Component, c.addr)
+	c.conn = conn
+	c.r = bufio.NewReaderSize(conn, 64*1024)
+	c.w = bufio.NewWriterSize(conn, 64*1024)
+
+	// Connection header.
+	if _, err := c.w.WriteString(headerMagic); err == nil {
+		if err = c.w.WriteByte(headerVersion); err == nil {
+			err = c.w.Flush()
+		}
+	}
+	if err != nil {
+		c.dropLocked()
+		return err
+	}
+	// VersionedProtocol handshake.
+	var ver [8]byte
+	binary.BigEndian.PutUint64(ver[:], uint64(c.version))
+	got, err := c.callLocked(getProtocolVersionMethod, [][]byte{ver[:]})
+	if err != nil {
+		c.dropLocked()
+		return fmt.Errorf("hadooprpc: handshake: %w", err)
+	}
+	if len(got) != 8 || int64(binary.BigEndian.Uint64(got)) != c.version {
+		c.dropLocked()
+		return ErrVersionMismatch
+	}
+	return nil
+}
+
+// dropLocked abandons the current connection.
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn, c.r, c.w = nil, nil, nil
+}
+
 // Call invokes method with the given parameters and returns its value. The
 // entire parameter set is serialized into one call frame before anything
-// hits the wire — Hadoop's copy-then-send behaviour.
+// hits the wire — Hadoop's copy-then-send behaviour. With retries enabled,
+// a transport failure reconnects and replays the call after a backoff, up
+// to Options.MaxAttempts total attempts.
 func (c *Client) Call(method string, params ...[]byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return nil, fmt.Errorf("hadooprpc: client closed")
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if c.closed {
+			return nil, errors.New("hadooprpc: client closed")
+		}
+		value, err := c.attemptLocked(method, params)
+		if err == nil || !retryable(err) {
+			return value, err
+		}
+		lastErr = err
+		if attempt >= c.opts.MaxAttempts {
+			return nil, lastErr
+		}
+		// Sleeping under the lock is deliberate: one call in flight at a
+		// time is this client's contract.
+		time.Sleep(c.opts.Backoff.Delay(attempt, c.jit))
 	}
+}
+
+// attemptLocked is one try: ensure a connection, run the injection point,
+// send and await the response. Transport failures poison the connection.
+func (c *Client) attemptLocked(method string, params [][]byte) ([]byte, error) {
+	if c.conn == nil {
+		if err := c.connectLocked(); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.opts.Injector.Check(c.opts.Component, "call", method); err != nil {
+		if errors.Is(err, faults.ErrDropped) || faults.IsCrash(err) {
+			c.dropLocked()
+		}
+		return nil, err
+	}
+	value, err := c.callLocked(method, params)
+	if err != nil && !errors.Is(err, errRemote) {
+		c.dropLocked()
+	}
+	return value, err
+}
+
+// callLocked performs one framed call/response exchange on the live
+// connection, bounded by the call timeout.
+func (c *Client) callLocked(method string, params [][]byte) ([]byte, error) {
 	id := c.nextID
 	c.nextID++
 	frame, err := encodeCall(id, c.protocol, method, params)
 	if err != nil {
 		return nil, err
+	}
+	if c.opts.CallTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.CallTimeout))
+		defer c.conn.SetDeadline(time.Time{})
 	}
 	if _, err := c.w.Write(frame); err != nil {
 		return nil, err
@@ -107,7 +200,12 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	return c.conn.Close()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn, c.r, c.w = nil, nil, nil
+	return err
 }
 
 // --------------------------------------------------------------------------

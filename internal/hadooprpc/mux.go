@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"github.com/ict-repro/mpid/internal/faults"
 )
 
 // MuxClient is the multiplexing RPC client: many goroutines share one
@@ -17,15 +20,34 @@ import (
 // return in submission order, so bulk-payload calls still queue behind each
 // other. The bandwidth pathology of Figure 3 is unchanged; only small
 // control calls benefit from sharing.
+//
+// With Options.MaxAttempts > 1 the client is self-healing: a call that
+// fails at the transport level (broken connection, timeout, injected
+// fault) abandons the connection, redials and replays after an
+// exponential backoff with jitter. Remote handler errors are returned
+// immediately — the server answered; retrying cannot change its mind.
 type MuxClient struct {
+	addr     string
 	protocol string
-	conn     net.Conn
-	w        *bufio.Writer
+	version  int64
+	opts     Options
+	jit      *faults.Jitter
 
-	mu      sync.Mutex // guards writes, id allocation, pending, closed
+	mu     sync.Mutex
+	cur    *muxConn // nil when disconnected
+	closed bool
+}
+
+// muxConn is one generation of the underlying connection. Reconnecting
+// replaces the whole struct, so stale callers fail cleanly instead of
+// racing a half-reset state.
+type muxConn struct {
+	conn net.Conn
+	w    *bufio.Writer
+
+	mu      sync.Mutex // guards writes, id allocation, pending, readErr
 	nextID  int32
 	pending map[int32]chan muxResult
-	closed  bool
 	readErr error
 }
 
@@ -34,70 +56,135 @@ type muxResult struct {
 	err   error
 }
 
-// DialMux connects, sends the connection header and performs the
-// VersionedProtocol handshake, returning a client safe for concurrent use.
+// errConnAbandoned marks a connection torn down locally (timeout or
+// injected drop); pending calls fail with it.
+var errConnAbandoned = errors.New("hadooprpc: connection abandoned")
+
+// DialMux connects with default options (timeouts on, retries off) and
+// performs the handshake, returning a client safe for concurrent use.
 func DialMux(addr, protocol string, version int64) (*MuxClient, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialMuxOptions(addr, protocol, version, Options{})
+}
+
+// DialMuxOptions connects, sends the connection header and performs the
+// VersionedProtocol handshake. The initial dial is fail-fast even with
+// retries enabled; retries govern subsequent Calls.
+func DialMuxOptions(addr, protocol string, version int64, opts Options) (*MuxClient, error) {
+	c := &MuxClient{
+		addr:     addr,
+		protocol: protocol,
+		version:  version,
+		opts:     opts.withDefaults(),
+	}
+	c.jit = faults.NewJitter(c.opts.Seed)
+	if _, err := c.ensureConn(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ensureConn returns the live connection, dialing a fresh one if needed.
+func (c *MuxClient) ensureConn() (*muxConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("hadooprpc: client closed")
+	}
+	if c.cur != nil && c.cur.alive() {
+		return c.cur, nil
+	}
+	mc, err := c.dialLocked()
+	if err != nil {
+		return nil, err
+	}
+	c.cur = mc
+	return mc, nil
+}
+
+// dialLocked establishes one connection generation: TCP connect, header,
+// read loop, handshake.
+func (c *MuxClient) dialLocked() (*muxConn, error) {
+	if err := c.opts.Injector.Check(c.opts.Component, "dial", c.addr); err != nil {
+		return nil, err
+	}
+	d := net.Dialer{}
+	if c.opts.DialTimeout > 0 {
+		d.Timeout = c.opts.DialTimeout
+	}
+	conn, err := d.Dial("tcp", c.addr)
 	if err != nil {
 		return nil, err
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	c := &MuxClient{
-		protocol: protocol,
-		conn:     conn,
-		w:        bufio.NewWriterSize(conn, 64*1024),
-		pending:  make(map[int32]chan muxResult),
+	conn = faults.WrapConn(conn, c.opts.Injector, c.opts.Component, c.addr)
+	mc := &muxConn{
+		conn:    conn,
+		w:       bufio.NewWriterSize(conn, 64*1024),
+		pending: make(map[int32]chan muxResult),
 	}
-	if _, err := c.w.WriteString(headerMagic); err != nil {
+	if _, err := mc.w.WriteString(headerMagic); err == nil {
+		if err = mc.w.WriteByte(headerVersion); err == nil {
+			err = mc.w.Flush()
+		}
+	}
+	if err != nil {
 		conn.Close()
 		return nil, err
 	}
-	if err := c.w.WriteByte(headerVersion); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if err := c.w.Flush(); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	go c.readLoop()
+	go mc.readLoop()
 
 	var ver [8]byte
-	binary.BigEndian.PutUint64(ver[:], uint64(version))
-	got, err := c.Call(getProtocolVersionMethod, ver[:])
+	binary.BigEndian.PutUint64(ver[:], uint64(c.version))
+	got, err := c.callOn(mc, getProtocolVersionMethod, [][]byte{ver[:]})
 	if err != nil {
-		c.Close()
+		mc.kill(errConnAbandoned)
 		return nil, fmt.Errorf("hadooprpc: handshake: %w", err)
 	}
-	if len(got) != 8 || int64(binary.BigEndian.Uint64(got)) != version {
-		c.Close()
+	if len(got) != 8 || int64(binary.BigEndian.Uint64(got)) != c.version {
+		mc.kill(errConnAbandoned)
 		return nil, ErrVersionMismatch
 	}
-	return c, nil
+	return mc, nil
+}
+
+// alive reports whether the connection generation can still carry calls.
+func (mc *muxConn) alive() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.readErr == nil
+}
+
+// kill poisons the generation: the socket closes, the read loop exits and
+// pending calls fail.
+func (mc *muxConn) kill(err error) {
+	mc.mu.Lock()
+	if mc.readErr == nil {
+		mc.readErr = err
+	}
+	for id, ch := range mc.pending {
+		ch <- muxResult{err: err}
+		delete(mc.pending, id)
+	}
+	mc.mu.Unlock()
+	mc.conn.Close()
 }
 
 // readLoop delivers responses to their waiting callers by call id.
-func (c *MuxClient) readLoop() {
-	r := bufio.NewReaderSize(c.conn, 64*1024)
+func (mc *muxConn) readLoop() {
+	r := bufio.NewReaderSize(mc.conn, 64*1024)
 	for {
 		id, value, err := readResponse(r)
 		if err != nil && !isRemoteError(err) {
 			// Connection-level failure: fail every pending call.
-			c.mu.Lock()
-			c.readErr = err
-			for cid, ch := range c.pending {
-				ch <- muxResult{err: err}
-				delete(c.pending, cid)
-			}
-			c.mu.Unlock()
+			mc.kill(err)
 			return
 		}
-		c.mu.Lock()
-		ch, ok := c.pending[id]
-		delete(c.pending, id)
-		c.mu.Unlock()
+		mc.mu.Lock()
+		ch, ok := mc.pending[id]
+		delete(mc.pending, id)
+		mc.mu.Unlock()
 		if ok {
 			ch <- muxResult{value: value, err: err}
 		}
@@ -110,40 +197,102 @@ func isRemoteError(err error) bool {
 	return err != nil && errors.Is(err, errRemote)
 }
 
-// Call invokes method with the given parameters; it is safe to call from
-// many goroutines at once.
-func (c *MuxClient) Call(method string, params ...[]byte) ([]byte, error) {
+// callOn performs one call/response exchange on a connection generation,
+// bounded by the call timeout. A timeout abandons the generation: once the
+// response stream is out of sync with the caller's patience, the safe move
+// is Hadoop's — reconnect.
+func (c *MuxClient) callOn(mc *muxConn, method string, params [][]byte) ([]byte, error) {
 	ch := make(chan muxResult, 1)
 
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, errors.New("hadooprpc: client closed")
-	}
-	if c.readErr != nil {
-		err := c.readErr
-		c.mu.Unlock()
+	mc.mu.Lock()
+	if mc.readErr != nil {
+		err := mc.readErr
+		mc.mu.Unlock()
 		return nil, err
 	}
-	id := c.nextID
-	c.nextID++
-	c.pending[id] = ch
+	id := mc.nextID
+	mc.nextID++
+	mc.pending[id] = ch
 	frame, err := encodeCall(id, c.protocol, method, params)
 	if err == nil {
-		_, err = c.w.Write(frame)
+		_, err = mc.w.Write(frame)
 		if err == nil {
-			err = c.w.Flush()
+			err = mc.w.Flush()
 		}
 	}
 	if err != nil {
-		delete(c.pending, id)
-		c.mu.Unlock()
+		delete(mc.pending, id)
+		mc.mu.Unlock()
 		return nil, err
 	}
-	c.mu.Unlock()
+	mc.mu.Unlock()
 
+	if c.opts.CallTimeout > 0 {
+		timer := time.NewTimer(c.opts.CallTimeout)
+		defer timer.Stop()
+		select {
+		case res := <-ch:
+			return res.value, res.err
+		case <-timer.C:
+			mc.kill(errConnAbandoned)
+			return nil, fmt.Errorf("hadooprpc: call %s timed out after %v", method, c.opts.CallTimeout)
+		}
+	}
 	res := <-ch
 	return res.value, res.err
+}
+
+// invalidate discards a dead generation so the next attempt redials.
+func (c *MuxClient) invalidate(mc *muxConn) {
+	c.mu.Lock()
+	if c.cur == mc {
+		c.cur = nil
+	}
+	c.mu.Unlock()
+	mc.kill(errConnAbandoned)
+}
+
+// Call invokes method with the given parameters; it is safe to call from
+// many goroutines at once. Transport failures are retried on a fresh
+// connection up to Options.MaxAttempts total attempts.
+func (c *MuxClient) Call(method string, params ...[]byte) ([]byte, error) {
+	for attempt := 1; ; attempt++ {
+		value, err := c.attempt(method, params)
+		if err == nil || !retryable(err) {
+			return value, err
+		}
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed || attempt >= c.opts.MaxAttempts {
+			return nil, err
+		}
+		time.Sleep(c.opts.Backoff.Delay(attempt, c.jit))
+	}
+}
+
+// attempt is one try of a Call: injection point, connection, exchange.
+func (c *MuxClient) attempt(method string, params [][]byte) ([]byte, error) {
+	if err := c.opts.Injector.Check(c.opts.Component, "call", method); err != nil {
+		if errors.Is(err, faults.ErrDropped) {
+			c.mu.Lock()
+			mc := c.cur
+			c.mu.Unlock()
+			if mc != nil {
+				c.invalidate(mc)
+			}
+		}
+		return nil, err
+	}
+	mc, err := c.ensureConn()
+	if err != nil {
+		return nil, err
+	}
+	value, err := c.callOn(mc, method, params)
+	if err != nil && !isRemoteError(err) {
+		c.invalidate(mc)
+	}
+	return value, err
 }
 
 // Close tears the connection down; pending calls fail.
@@ -154,6 +303,11 @@ func (c *MuxClient) Close() error {
 		return nil
 	}
 	c.closed = true
+	mc := c.cur
+	c.cur = nil
 	c.mu.Unlock()
-	return c.conn.Close()
+	if mc != nil {
+		mc.kill(errors.New("hadooprpc: client closed"))
+	}
+	return nil
 }

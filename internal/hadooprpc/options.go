@@ -1,0 +1,69 @@
+package hadooprpc
+
+import (
+	"errors"
+	"time"
+
+	"github.com/ict-repro/mpid/internal/faults"
+)
+
+// Options configures a client's fault-tolerance behaviour: connect and
+// per-call deadlines, a bounded retry budget with exponential backoff and
+// jitter, and an optional fault injector for chaos testing. The zero value
+// gives sane production defaults with retries disabled, preserving the
+// fail-fast semantics the benchmarks rely on.
+type Options struct {
+	// DialTimeout bounds the TCP connect (default 10 s; negative
+	// disables). Without it a dead address blocks on OS defaults —
+	// minutes on most systems.
+	DialTimeout time.Duration
+	// CallTimeout bounds one call round trip (default 30 s; negative
+	// disables). A timed-out call abandons the connection: responses on
+	// it can no longer be trusted to arrive.
+	CallTimeout time.Duration
+	// MaxAttempts is the total tries per Call, counting the first
+	// (default 1 — no retries). Transport-level failures are retried
+	// after reconnecting; remote handler errors are never retried.
+	MaxAttempts int
+	// Backoff shapes the delay between retries.
+	Backoff faults.Backoff
+	// Seed drives retry jitter, keeping schedules reproducible.
+	Seed int64
+	// Injector, when set, receives injection points: "dial" and "call"
+	// operations on Component, plus "read"/"write" through the wrapped
+	// connection.
+	Injector *faults.Injector
+	// Component names this client to the injector (default
+	// "hadooprpc.client").
+	Component string
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 30 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 1
+	}
+	if o.Component == "" {
+		o.Component = "hadooprpc.client"
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// IsRemote reports whether err is a per-call error returned by the server's
+// handler (the connection stays usable, and retrying cannot help).
+func IsRemote(err error) bool { return errors.Is(err, errRemote) }
+
+// retryable reports whether a failed call may succeed on a fresh attempt:
+// transport failures and injected transient faults are; remote handler
+// errors and component crashes are not.
+func retryable(err error) bool {
+	return err != nil && !errors.Is(err, errRemote) && !faults.IsCrash(err)
+}

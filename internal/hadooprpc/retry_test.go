@@ -1,0 +1,216 @@
+package hadooprpc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ict-repro/mpid/internal/faults"
+)
+
+// startSlowServer serves a "wait" method that blocks until the returned
+// channel is closed, plus an "echo" passthrough.
+func startSlowServer(t *testing.T) (string, chan struct{}) {
+	t.Helper()
+	block := make(chan struct{})
+	s := NewServer()
+	s.Register(&Protocol{
+		Name:    "slow",
+		Version: 1,
+		Methods: map[string]Handler{
+			"wait": func([][]byte) ([]byte, error) {
+				<-block
+				return []byte("late"), nil
+			},
+			"echo": func(p [][]byte) ([]byte, error) { return p[0], nil },
+		},
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return addr, block
+}
+
+func TestMuxClientCallTimeout(t *testing.T) {
+	addr, block := startSlowServer(t)
+	defer close(block)
+	c, err := DialMuxOptions(addr, "slow", 1, Options{CallTimeout: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Call("wait"); err == nil {
+		t.Fatal("blocked call returned without error")
+	} else if !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("timeout took %v", d)
+	}
+	// The abandoned connection is replaced transparently on the next call
+	// when retries are off but the client is not closed.
+	if _, err := c.Call("echo", []byte("back")); err != nil {
+		t.Fatalf("call after timeout: %v", err)
+	}
+}
+
+func TestClientCallTimeout(t *testing.T) {
+	addr, block := startSlowServer(t)
+	defer close(block)
+	c, err := DialOptions(addr, "slow", 1, Options{CallTimeout: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call("wait"); err == nil {
+		t.Fatal("blocked call returned without error")
+	}
+	if _, err := c.Call("echo", []byte("back")); err != nil {
+		t.Fatalf("call after timeout: %v", err)
+	}
+}
+
+func TestMuxClientRetriesTransientInjectedFaults(t *testing.T) {
+	addr := startEchoServer(t)
+	inj := faults.New(1, faults.Rule{Operation: "call", Until: 2, Action: faults.Fail})
+	c, err := DialMuxOptions(addr, EchoProtocolName, EchoProtocolVersion, Options{
+		MaxAttempts: 5,
+		Backoff:     faults.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+		Injector:    inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Call("recv", []byte("through the storm"))
+	if err != nil || string(got) != "through the storm" {
+		t.Fatalf("call = %q, %v", got, err)
+	}
+	if n := inj.Count("hadooprpc.client", "call"); n != 3 {
+		t.Fatalf("attempts = %d, want 3 (2 injected failures + 1 success)", n)
+	}
+}
+
+func TestMuxClientReconnectsAfterDroppedConnection(t *testing.T) {
+	addr := startEchoServer(t)
+	inj := faults.New(1, faults.Rule{Operation: "call", After: 1, Until: 2, Action: faults.Drop})
+	c, err := DialMuxOptions(addr, EchoProtocolName, EchoProtocolVersion, Options{
+		MaxAttempts: 4,
+		Backoff:     faults.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+		Injector:    inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got, err := c.Call("recv", []byte("one")); err != nil || string(got) != "one" {
+		t.Fatalf("first call: %q, %v", got, err)
+	}
+	// Second call's connection is torn down mid-flight; the retry must
+	// transparently reconnect and succeed.
+	if got, err := c.Call("recv", []byte("two")); err != nil || string(got) != "two" {
+		t.Fatalf("post-drop call: %q, %v", got, err)
+	}
+}
+
+func TestMuxClientRetryBudgetExhausted(t *testing.T) {
+	addr := startEchoServer(t)
+	inj := faults.New(1, faults.Rule{Operation: "call", Action: faults.Fail})
+	c, err := DialMuxOptions(addr, EchoProtocolName, EchoProtocolVersion, Options{
+		MaxAttempts: 3,
+		Backoff:     faults.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+		Injector:    inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call("recv", []byte("doomed")); !faults.IsInjected(err) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if n := inj.Count("hadooprpc.client", "call"); n != 3 {
+		t.Fatalf("attempts = %d, want MaxAttempts = 3", n)
+	}
+}
+
+func TestMuxClientRemoteErrorsNotRetried(t *testing.T) {
+	addr := startEchoServer(t)
+	// The injector has no rules; it only counts "call" attempts.
+	inj := faults.New(1)
+	c, err := DialMuxOptions(addr, EchoProtocolName, EchoProtocolVersion, Options{
+		MaxAttempts: 5,
+		Injector:    inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, callErr := c.Call("no-such-method")
+	if callErr == nil || !IsRemote(callErr) {
+		t.Fatalf("err = %v, want remote", callErr)
+	}
+	if n := inj.Count("hadooprpc.client", "call"); n != 1 {
+		t.Fatalf("remote error retried: %d attempts", n)
+	}
+}
+
+func TestClientReconnectsWithRetries(t *testing.T) {
+	addr := startEchoServer(t)
+	inj := faults.New(1, faults.Rule{Operation: "call", After: 1, Until: 2, Action: faults.Drop})
+	c, err := DialOptions(addr, EchoProtocolName, EchoProtocolVersion, Options{
+		MaxAttempts: 4,
+		Backoff:     faults.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+		Injector:    inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got, err := c.Call("recv", []byte("a")); err != nil || string(got) != "a" {
+		t.Fatalf("first call: %q, %v", got, err)
+	}
+	if got, err := c.Call("recv", []byte("b")); err != nil || string(got) != "b" {
+		t.Fatalf("post-drop call: %q, %v", got, err)
+	}
+}
+
+func TestDialInjectedFaultSurfaces(t *testing.T) {
+	addr := startEchoServer(t)
+	inj := faults.New(1, faults.Rule{Operation: "dial", Action: faults.Fail})
+	if _, err := DialMuxOptions(addr, EchoProtocolName, EchoProtocolVersion, Options{Injector: inj}); !faults.IsInjected(err) {
+		t.Fatalf("DialMux err = %v, want injected", err)
+	}
+	if _, err := DialOptions(addr, EchoProtocolName, EchoProtocolVersion, Options{Injector: inj}); !faults.IsInjected(err) {
+		t.Fatalf("Dial err = %v, want injected", err)
+	}
+}
+
+func TestCrashedComponentNotRetried(t *testing.T) {
+	addr := startEchoServer(t)
+	inj := faults.New(1, faults.Rule{Operation: "call", After: 1, Action: faults.Crash})
+	c, err := DialMuxOptions(addr, EchoProtocolName, EchoProtocolVersion, Options{
+		MaxAttempts: 10,
+		Injector:    inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call("recv", []byte("ok")); err != nil {
+		t.Fatalf("pre-crash call: %v", err)
+	}
+	if _, err := c.Call("recv", []byte("dead")); !faults.IsCrash(err) {
+		t.Fatalf("err = %v, want crash", err)
+	}
+	// Crash is permanent: only 2 "call" checks, no retry burn.
+	if n := inj.Count("hadooprpc.client", "call"); n != 2 {
+		t.Fatalf("crash retried: %d attempts", n)
+	}
+	if !errors.Is(inj.Check("hadooprpc.client", "call", ""), faults.ErrCrashed) {
+		t.Fatal("component not poisoned")
+	}
+}

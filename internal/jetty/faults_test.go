@@ -1,0 +1,103 @@
+package jetty
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/ict-repro/mpid/internal/faults"
+)
+
+func startFaultyServer(t *testing.T, inj *faults.Injector) (string, *Store) {
+	t.Helper()
+	store := NewStore()
+	s := NewServer(store)
+	s.Injector = inj
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return addr, store
+}
+
+func TestFetchRetriesInjectedClientFaults(t *testing.T) {
+	addr, store := startFaultyServer(t, nil)
+	key := OutputKey{Job: "job", Map: 0, Reduce: 0}
+	payload := []byte("intermediate data")
+	store.Put(key, payload)
+
+	inj := faults.New(1, faults.Rule{Component: "jetty.client", Operation: "fetch", Until: 2})
+	c := NewClient()
+	defer c.Close()
+	c.Injector = inj
+	c.MaxAttempts = 5
+	c.Backoff = faults.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+
+	got, err := c.FetchMapOutput(addr, key)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("fetch = %q, %v", got, err)
+	}
+	if n := inj.Count("jetty.client", "fetch"); n != 3 {
+		t.Fatalf("attempts = %d, want 3", n)
+	}
+}
+
+func TestFetchRetriesServerSide503(t *testing.T) {
+	inj := faults.New(1, faults.Rule{Component: "jetty.server", Operation: "serve", Until: 2})
+	addr, store := startFaultyServer(t, inj)
+	key := OutputKey{Job: "job", Map: 1, Reduce: 2}
+	payload := []byte("served on the third try")
+	store.Put(key, payload)
+
+	c := NewClient()
+	defer c.Close()
+	c.MaxAttempts = 5
+	c.Backoff = faults.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+
+	got, err := c.FetchMapOutput(addr, key)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("fetch = %q, %v", got, err)
+	}
+	if n := inj.Count("jetty.server", "serve"); n != 3 {
+		t.Fatalf("server saw %d requests, want 3", n)
+	}
+}
+
+func TestFetchGoneNotRetried(t *testing.T) {
+	addr, _ := startFaultyServer(t, nil)
+	inj := faults.New(1) // rule-free: counts client attempts
+	c := NewClient()
+	defer c.Close()
+	c.Injector = inj
+	c.MaxAttempts = 5
+	c.Backoff = faults.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+
+	_, err := c.FetchMapOutput(addr, OutputKey{Job: "gone", Map: 0, Reduce: 0})
+	if !IsGone(err) {
+		t.Fatalf("err = %v, want ErrGone", err)
+	}
+	if n := inj.Count("jetty.client", "fetch"); n != 1 {
+		t.Fatalf("410 Gone was retried: %d attempts", n)
+	}
+}
+
+func TestFetchRetryBudgetExhausted(t *testing.T) {
+	addr, store := startFaultyServer(t, nil)
+	key := OutputKey{Job: "job", Map: 0, Reduce: 0}
+	store.Put(key, []byte("unreachable"))
+
+	inj := faults.New(1, faults.Rule{Component: "jetty.client", Operation: "fetch"})
+	c := NewClient()
+	defer c.Close()
+	c.Injector = inj
+	c.MaxAttempts = 3
+	c.Backoff = faults.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+
+	if _, err := c.FetchMapOutput(addr, key); !faults.IsInjected(err) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if n := inj.Count("jetty.client", "fetch"); n != 3 {
+		t.Fatalf("attempts = %d, want MaxAttempts = 3", n)
+	}
+}

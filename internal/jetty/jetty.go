@@ -12,6 +12,7 @@
 package jetty
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -19,7 +20,42 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"github.com/ict-repro/mpid/internal/faults"
 )
+
+// ErrGone marks a fetch the server answered 410 Gone for: the map output no
+// longer exists there (the tasktracker restarted or the job was cleaned up).
+// Retrying the same server cannot help — the reducer must report the fetch
+// failure so the map is re-executed elsewhere.
+var ErrGone = errors.New("jetty: map output gone")
+
+// IsGone reports whether err means the output is permanently missing from
+// the queried server.
+func IsGone(err error) bool { return errors.Is(err, ErrGone) }
+
+// statusError is a non-200 HTTP response. 5xx responses are retryable
+// (transient server-side trouble); other 4xx are not.
+type statusError struct {
+	code   int
+	status string
+}
+
+func (e *statusError) Error() string { return "jetty: fetch status " + e.status }
+
+// fetchRetryable reports whether a failed fetch may succeed on a retry
+// against the same server: transport failures and 5xx responses are
+// retryable; Gone, client errors and component crashes are not.
+func fetchRetryable(err error) bool {
+	if err == nil || IsGone(err) || faults.IsCrash(err) {
+		return false
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500
+	}
+	return true
+}
 
 // Header names mirroring the 0.20 shuffle.
 const (
@@ -85,6 +121,12 @@ type Server struct {
 	// in chunks of this many bytes (Hadoop uses a 64 KB buffer). The
 	// bandwidth experiment sweeps it.
 	WriteChunk int
+	// Injector, when set, gates every mapOutput request ("serve"
+	// operation); an injected fault answers 503 Service Unavailable,
+	// which clients treat as retryable. Set before Listen.
+	Injector *faults.Injector
+	// Component names this server to the injector (default "jetty.server").
+	Component string
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -145,6 +187,14 @@ func (s *Server) handleMapOutput(w http.ResponseWriter, r *http.Request) {
 	job := q.Get("job")
 	if err1 != nil || err2 != nil || job == "" {
 		http.Error(w, "jetty: bad mapOutput query", http.StatusBadRequest)
+		return
+	}
+	comp := s.Component
+	if comp == "" {
+		comp = "jetty.server"
+	}
+	if err := s.Injector.Check(comp, "serve", job); err != nil {
+		http.Error(w, "jetty: injected fault: "+err.Error(), http.StatusServiceUnavailable)
 		return
 	}
 	data, ok := s.store.Get(OutputKey{Job: job, Map: mapID, Reduce: reduceID})
@@ -214,12 +264,30 @@ func (s *Server) writeChunked(w io.Writer, data []byte) {
 // Client fetches map outputs over HTTP, as a reduce task's copier threads
 // do. ReadChunk controls the read buffer size (the client half of the
 // packet-size sweep).
+//
+// Configure the exported fault-tolerance fields before sharing the client
+// across goroutines; the fetch methods themselves are concurrency-safe.
+// With MaxAttempts > 1 a transport failure or 5xx response is retried
+// against the same server after a backoff; 410 Gone (ErrGone) is returned
+// immediately so the caller can report a fetch failure and go elsewhere.
 type Client struct {
 	http      *http.Client
 	ReadChunk int
+	// MaxAttempts is the total tries per fetch (<= 1 means no retries).
+	MaxAttempts int
+	// Backoff shapes the delay between retries.
+	Backoff faults.Backoff
+	// Injector, when set, gates every fetch attempt ("fetch" operation,
+	// peer = server address).
+	Injector *faults.Injector
+	// Component names this client to the injector (default "jetty.client").
+	Component string
+
+	jit *faults.Jitter
 }
 
-// NewClient creates a copier client with connection reuse enabled.
+// NewClient creates a copier client with connection reuse enabled and
+// retries off.
 func NewClient() *Client {
 	return &Client{
 		http: &http.Client{
@@ -229,13 +297,44 @@ func NewClient() *Client {
 			},
 		},
 		ReadChunk: 64 * 1024,
+		jit:       faults.NewJitter(1),
 	}
 }
 
-// FetchMapOutput retrieves one map output from a server.
+// SetSeed reseeds the retry jitter for reproducible backoff schedules. Call
+// before sharing the client across goroutines.
+func (c *Client) SetSeed(seed int64) { c.jit = faults.NewJitter(seed) }
+
+// FetchMapOutput retrieves one map output from a server, retrying transient
+// failures per the client's retry configuration.
 func (c *Client) FetchMapOutput(addr string, key OutputKey) ([]byte, error) {
 	url := fmt.Sprintf("http://%s/mapOutput?job=%s&map=%d&reduce=%d",
 		addr, key.Job, key.Map, key.Reduce)
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		data, err := c.fetchOnce(url, addr)
+		if err == nil || !fetchRetryable(err) {
+			return data, err
+		}
+		if attempt >= attempts {
+			return nil, err
+		}
+		time.Sleep(c.Backoff.Delay(attempt, c.jit))
+	}
+}
+
+// fetchOnce is one fetch attempt: injection point, then the HTTP exchange.
+func (c *Client) fetchOnce(url, peer string) ([]byte, error) {
+	comp := c.Component
+	if comp == "" {
+		comp = "jetty.client"
+	}
+	if err := c.Injector.Check(comp, "fetch", peer); err != nil {
+		return nil, err
+	}
 	return c.fetch(url)
 }
 
@@ -279,8 +378,11 @@ func (c *Client) fetch(url string) ([]byte, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		return nil, fmt.Errorf("%w (%s)", ErrGone, url)
+	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("jetty: fetch status %s", resp.Status)
+		return nil, &statusError{code: resp.StatusCode, status: resp.Status}
 	}
 	want := int64(-1)
 	if h := resp.Header.Get(HeaderMapOutputLength); h != "" {

@@ -115,6 +115,10 @@ type Result struct {
 	MapTasks int
 	// FailedAttempts counts map attempts that errored and were retried.
 	FailedAttempts int
+	// MaxTaskExecutions is the highest number of times any single task was
+	// launched: 1 in a fault-free run, > 1 when tasks were re-executed
+	// after failures or tracker loss. (Populated by the hadoop engine.)
+	MaxTaskExecutions int
 }
 
 // Pairs returns all output pairs merged and sorted by key, the equivalent

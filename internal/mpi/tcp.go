@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"github.com/ict-repro/mpid/internal/faults"
 )
 
 // NewTCPWorld creates a world of n ranks whose messages travel over real TCP
@@ -15,6 +17,18 @@ import (
 // process (Go cannot fork MPI-style), but every byte crosses the kernel
 // socket path, which is what the latency/bandwidth harness measures.
 func NewTCPWorld(n int) (*World, error) {
+	return NewTCPWorldWithFaults(n, nil)
+}
+
+// rankComponent is how TCP world ranks are named to a fault injector.
+func rankComponent(rank int) string { return fmt.Sprintf("mpi.rank%d", rank) }
+
+// NewTCPWorldWithFaults creates a TCP world whose transport consults a fault
+// injector. Rank r is the component "mpi.rank<r>"; injection points are
+// "dial" and "send" on the sending rank (peer = destination component), plus
+// "read"/"write" through the wrapped per-pair connections. A nil injector
+// yields a plain TCP world.
+func NewTCPWorldWithFaults(n int, inj *faults.Injector) (*World, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("mpi: world size must be positive, got %d", n)
 	}
@@ -27,6 +41,7 @@ func NewTCPWorld(n int) (*World, error) {
 		addrs:     make([]string, n),
 		listeners: make([]net.Listener, n),
 		conns:     make(map[connKey]*tcpConn),
+		inj:       inj,
 	}
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -59,6 +74,7 @@ type tcpTransport struct {
 	eps       []*endpoint
 	addrs     []string
 	listeners []net.Listener
+	inj       *faults.Injector // nil injects nothing
 
 	mu     sync.Mutex
 	conns  map[connKey]*tcpConn
@@ -117,6 +133,9 @@ func (t *tcpTransport) connFor(src, dst int) (*tcpConn, error) {
 	if c, ok := t.conns[key]; ok {
 		return c, nil
 	}
+	if err := t.inj.Check(rankComponent(src), "dial", rankComponent(dst)); err != nil {
+		return nil, err
+	}
 	conn, err := net.Dial("tcp", t.addrs[dst])
 	if err != nil {
 		return nil, fmt.Errorf("mpi: dial rank %d: %w", dst, err)
@@ -124,9 +143,21 @@ func (t *tcpTransport) connFor(src, dst int) (*tcpConn, error) {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true) // latency benchmark sends tiny frames
 	}
-	c := &tcpConn{c: conn, w: bufio.NewWriterSize(conn, 256*1024)}
+	wrapped := faults.WrapConn(conn, t.inj, rankComponent(src), rankComponent(dst))
+	c := &tcpConn{c: wrapped, w: bufio.NewWriterSize(wrapped, 256*1024)}
 	t.conns[key] = c
 	return c, nil
+}
+
+// dropConn forgets a connection whose injected fault closed it, so a later
+// send to the same pair redials instead of writing into a dead socket.
+func (t *tcpTransport) dropConn(src, dst int, c *tcpConn) {
+	t.mu.Lock()
+	if t.conns != nil && t.conns[connKey{src, dst}] == c {
+		delete(t.conns, connKey{src, dst})
+	}
+	t.mu.Unlock()
+	c.c.Close()
 }
 
 func (t *tcpTransport) send(to int, m Message) error {
@@ -135,6 +166,9 @@ func (t *tcpTransport) send(to int, m Message) error {
 	}
 	if int64(len(m.Data)) > (1<<32 - 1) {
 		return errors.New("mpi: message over 4 GiB cannot be framed")
+	}
+	if err := t.inj.Check(rankComponent(m.Source), "send", rankComponent(to)); err != nil {
+		return err
 	}
 	c, err := t.connFor(m.Source, to)
 	if err != nil {
@@ -146,16 +180,20 @@ func (t *tcpTransport) send(to int, m Message) error {
 	binary.BigEndian.PutUint64(hdr[8:16], uint64(m.Comm))
 	binary.BigEndian.PutUint32(hdr[16:20], uint32(len(m.Data)))
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := c.w.Write(hdr[:]); err != nil {
-		return err
+	_, err = c.w.Write(hdr[:])
+	if err == nil && len(m.Data) > 0 {
+		_, err = c.w.Write(m.Data)
 	}
-	if len(m.Data) > 0 {
-		if _, err := c.w.Write(m.Data); err != nil {
-			return err
-		}
+	if err == nil {
+		err = c.w.Flush()
 	}
-	return c.w.Flush()
+	c.mu.Unlock()
+	if err != nil {
+		// The frame may be half-written; the connection cannot carry
+		// another message. Forget it so a retry redials.
+		t.dropConn(m.Source, to, c)
+	}
+	return err
 }
 
 func (t *tcpTransport) close() error {
