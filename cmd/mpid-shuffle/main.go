@@ -6,14 +6,19 @@
 //	         reduce tasks).
 //	-table1  Table I: copy-stage share of total task time across input
 //	         sizes {1,3,9,27,81,150} GB and slot configs {4/2,4/4,8/8,16/16}.
+//	-live    additionally runs a real WordCount on the live mini-Hadoop
+//	         engine and prints the jobtracker's measured per-reducer
+//	         copy/sort/reduce report next to the simulated copy share.
 //
-// Both run by default. -max caps the Table I sweep and -size sets the
-// Figure 1 input, so quick runs are possible on small machines.
+// Both simulated studies run by default. -max caps the Table I sweep and
+// -size sets the Figure 1 input, so quick runs are possible on small
+// machines. -livekb sets the live run's input size.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"github.com/ict-repro/mpid/internal/experiments"
 	"github.com/ict-repro/mpid/internal/netmodel"
@@ -22,8 +27,10 @@ import (
 func main() {
 	fig1 := flag.Bool("fig1", false, "run only Figure 1")
 	table1 := flag.Bool("table1", false, "run only Table I")
+	live := flag.Bool("live", false, "also run the live-engine WordCount and print its measured phase report")
 	sizeGB := flag.Int64("size", 150, "Figure 1 input size in GB")
 	maxGB := flag.Int64("max", 150, "largest Table I input size in GB")
+	liveKB := flag.Int64("livekb", 256, "live run input size in KB")
 	flag.Parse()
 
 	runFig1 := *fig1 || !*table1
@@ -36,5 +43,13 @@ func main() {
 	if runTable1 {
 		cells := experiments.Table1(*maxGB)
 		fmt.Println(experiments.RenderTable1(cells))
+	}
+	if *live {
+		r, err := experiments.Figure1Live(*liveKB << 10)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpid-shuffle:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.RenderFigure1Live(r))
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"github.com/ict-repro/mpid/internal/faults"
+	"github.com/ict-repro/mpid/internal/metrics"
 )
 
 // Errors returned by the file system.
@@ -93,6 +94,7 @@ type DataNode struct {
 	blocks map[BlockID][]byte
 	down   bool
 	inj    *faults.Injector
+	met    *metrics.Registry
 }
 
 // ID returns the datanode id.
@@ -126,6 +128,8 @@ func (d *DataNode) store(id BlockID, data []byte) error {
 		return ErrDataNodeDown
 	}
 	d.blocks[id] = data
+	d.met.Counter("dfs.writes").Inc()
+	d.met.Counter("dfs.write_bytes").Add(int64(len(data)))
 	return nil
 }
 
@@ -143,6 +147,8 @@ func (d *DataNode) Read(id BlockID) ([]byte, error) {
 	if !ok {
 		return nil, ErrBlockMissing
 	}
+	d.met.Counter("dfs.reads").Inc()
+	d.met.Counter("dfs.read_bytes").Add(int64(len(data)))
 	return data, nil
 }
 
@@ -178,6 +184,7 @@ func (d *DataNode) Down() bool {
 // NameNode holds the namespace and block map.
 type NameNode struct {
 	cfg Config
+	met *metrics.Registry
 
 	mu        sync.Mutex
 	files     map[string]*fileMeta
@@ -218,6 +225,20 @@ func (nn *NameNode) SetInjector(inj *faults.Injector) {
 	for _, d := range nn.datanodes {
 		d.mu.Lock()
 		d.inj = inj
+		d.mu.Unlock()
+	}
+}
+
+// SetMetrics wires a metrics registry through the cluster: DataNode block
+// I/O reports "dfs.reads"/"dfs.writes" counts and
+// "dfs.read_bytes"/"dfs.write_bytes", replica failovers during block reads
+// report "dfs.read_failovers", and re-replication reports
+// "dfs.rereplications". A nil registry records nothing.
+func (nn *NameNode) SetMetrics(m *metrics.Registry) {
+	nn.met = m
+	for _, d := range nn.datanodes {
+		d.mu.Lock()
+		d.met = m
 		d.mu.Unlock()
 	}
 }
@@ -364,9 +385,12 @@ func (nn *NameNode) ReadBlock(id BlockID, preferNode int) ([]byte, error) {
 		}
 	}
 	var lastErr error = ErrBlockLost
-	for _, l := range locs {
+	for i, l := range locs {
 		data, err := nn.datanodes[l].Read(id)
 		if err == nil {
+			if i > 0 {
+				nn.met.Counter("dfs.read_failovers").Inc()
+			}
 			return data, nil
 		}
 		lastErr = err
@@ -436,6 +460,7 @@ func (nn *NameNode) Rereplicate() (int, error) {
 			}
 			meta.Locations = append(meta.Locations, l)
 			created++
+			nn.met.Counter("dfs.rereplications").Inc()
 		}
 		nn.mu.Unlock()
 	}

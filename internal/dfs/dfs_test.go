@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"github.com/ict-repro/mpid/internal/metrics"
 )
 
 func newTestCluster(t *testing.T, nodes int, blockSize int64, repl int) *NameNode {
@@ -396,5 +398,32 @@ func TestRecoverAllowsNewPlacements(t *testing.T) {
 	nn.DataNode(0).Recover()
 	if created, err := nn.Rereplicate(); err != nil || created != 1 {
 		t.Fatalf("Rereplicate after recover = %d, %v", created, err)
+	}
+}
+
+func TestMetricsCountBytesAndFailovers(t *testing.T) {
+	nn := newTestCluster(t, 4, 256, 2)
+	m := metrics.NewRegistry()
+	nn.SetMetrics(m)
+	payload := bytes.Repeat([]byte("metered"), 200)
+	writeFile(t, nn, "/metered", payload)
+	readFile(t, nn, "/metered")
+	snap := m.Snapshot()
+	// Replication 2: every byte is written twice across the cluster.
+	if got, want := snap.Counter("dfs.write_bytes"), int64(2*len(payload)); got != want {
+		t.Errorf("dfs.write_bytes = %d, want %d", got, want)
+	}
+	if got, want := snap.Counter("dfs.read_bytes"), int64(len(payload)); got != want {
+		t.Errorf("dfs.read_bytes = %d, want %d", got, want)
+	}
+	if snap.Counter("dfs.read_failovers") != 0 {
+		t.Error("healthy cluster recorded read failovers")
+	}
+	// Round-robin placement makes node 0 the primary replica of some
+	// blocks; killing it forces those reads to fail over to the secondary.
+	nn.DataNode(0).Fail()
+	readFile(t, nn, "/metered")
+	if m.Snapshot().Counter("dfs.read_failovers") == 0 {
+		t.Error("dfs.read_failovers = 0 after killing primaries, want > 0")
 	}
 }

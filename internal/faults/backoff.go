@@ -13,7 +13,8 @@ type Backoff struct {
 	Base time.Duration
 	// Max caps the delay (default 100 ms).
 	Max time.Duration
-	// Multiplier grows the delay per attempt (default 2).
+	// Multiplier grows the delay per attempt (default 2; 1 gives a
+	// constant-delay schedule).
 	Multiplier float64
 	// Jitter is the fraction of the delay randomized away, in [0, 1)
 	// (default 0.2). Jitter draws come from the seeded source passed to
@@ -28,7 +29,10 @@ func (b Backoff) withDefaults() Backoff {
 	if b.Max <= 0 {
 		b.Max = 100 * time.Millisecond
 	}
-	if b.Multiplier <= 1 {
+	// Only an unset (or nonsensical negative) multiplier gets the default:
+	// Multiplier of exactly 1 is the way to configure a constant-delay
+	// schedule, and rewriting it to 2 made that impossible.
+	if b.Multiplier <= 0 {
 		b.Multiplier = 2
 	}
 	if b.Jitter < 0 || b.Jitter >= 1 {

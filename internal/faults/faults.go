@@ -21,6 +21,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"github.com/ict-repro/mpid/internal/metrics"
 )
 
 // Action is what a matched rule does to the operation.
@@ -92,6 +94,7 @@ type Injector struct {
 	counts      map[opKey]int
 	crashed     map[string]bool
 	partitioned map[[2]string]bool
+	metrics     *metrics.Registry
 }
 
 // New creates an injector whose probabilistic draws are driven by seed.
@@ -103,6 +106,19 @@ func New(seed int64, rules ...Rule) *Injector {
 		crashed:     make(map[string]bool),
 		partitioned: make(map[[2]string]bool),
 	}
+}
+
+// SetMetrics wires a registry into the injector: every fired fault bumps
+// the "faults.injected" counter plus a per-action one
+// ("faults.injected.<fail|delay|drop|crash>"). A nil registry (or nil
+// injector) records nothing.
+func (in *Injector) SetMetrics(m *metrics.Registry) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.metrics = m
 }
 
 // Add appends a rule.
@@ -221,7 +237,11 @@ func (in *Injector) Check(component, operation, peer string) error {
 		in.crashed[component] = true
 	}
 	errOverride, delay := fired.Err, fired.Delay
+	m := in.metrics
 	in.mu.Unlock()
+
+	m.Counter("faults.injected").Inc()
+	m.Counter("faults.injected." + actionName(action)).Inc()
 
 	switch action {
 	case Delay:
@@ -244,3 +264,17 @@ func (in *Injector) Check(component, operation, peer string) error {
 
 // match is the wildcard-aware field comparison.
 func match(pattern, value string) bool { return pattern == "" || pattern == value }
+
+// actionName labels an action for metric names.
+func actionName(a Action) string {
+	switch a {
+	case Delay:
+		return "delay"
+	case Drop:
+		return "drop"
+	case Crash:
+		return "crash"
+	default:
+		return "fail"
+	}
+}

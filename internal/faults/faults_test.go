@@ -213,6 +213,23 @@ func TestBackoffGrowsAndCaps(t *testing.T) {
 	}
 }
 
+func TestBackoffConstantSchedule(t *testing.T) {
+	// Multiplier 1 is the documented way to get a constant-delay schedule.
+	// withDefaults used to rewrite any Multiplier <= 1 to 2, silently
+	// turning the schedule exponential.
+	b := Backoff{Base: 5 * time.Millisecond, Max: time.Second, Multiplier: 1, Jitter: 0}
+	for attempt := 1; attempt <= 6; attempt++ {
+		if got := b.Delay(attempt, nil); got != 5*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want constant 5ms", attempt, got)
+		}
+	}
+	// The zero value still gets the exponential default.
+	d := Backoff{Base: time.Millisecond, Max: time.Second, Jitter: 0}
+	if got := d.Delay(2, nil); got != 2*time.Millisecond {
+		t.Fatalf("unset multiplier: Delay(2) = %v, want 2ms", got)
+	}
+}
+
 func TestBackoffJitterDeterministicUnderSeed(t *testing.T) {
 	b := Backoff{Base: 10 * time.Millisecond, Max: time.Second, Jitter: 0.5}
 	j1, j2 := NewJitter(7), NewJitter(7)

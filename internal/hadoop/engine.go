@@ -35,6 +35,7 @@ import (
 	"github.com/ict-repro/mpid/internal/hadooprpc"
 	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mapred"
+	"github.com/ict-repro/mpid/internal/metrics"
 )
 
 // Config sizes the mini-cluster.
@@ -73,6 +74,14 @@ type Config struct {
 	// its RPC client uses the hadooprpc injection points, and its shuffle
 	// fetches the jetty ones.
 	Injector *faults.Injector
+	// Metrics receives the job's observability: RPC call counts/latency/
+	// retries/bytes from every tracker's jobtracker client, shuffle fetch
+	// latency/bytes/retries from the copy stage, per-task phase timers
+	// (task.map.run/spill, task.reduce.copy/sort/reduce), scheduling
+	// counters (hadoop.map_launches, hadoop.reexecutions, ...) and — when
+	// an Injector is set — injected-fault counts. Left nil, Run creates a
+	// fresh registry per job so the jobtracker Report is always populated.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +112,9 @@ func (c Config) withDefaults() Config {
 			c.TrackerTimeout = 500 * time.Millisecond
 		}
 	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
 	return c
 }
 
@@ -111,6 +123,9 @@ func (c Config) rpcOptions() hadooprpc.Options {
 	o := c.RPC
 	if o.Injector == nil {
 		o.Injector = c.Injector
+	}
+	if o.Metrics == nil {
+		o.Metrics = c.Metrics
 	}
 	return o
 }
@@ -140,18 +155,32 @@ const (
 // mapred.Run. The job succeeds as long as every reduce completes, even if
 // individual tasktrackers crashed along the way.
 func Run(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.Result, error) {
+	res, _, err := RunWithReport(job, splits, cfg)
+	return res, err
+}
+
+// RunWithReport executes the job like Run and additionally returns the
+// jobtracker's per-job report: the live Figure-1-style per-reducer
+// copy/sort/reduce breakdown, per-map run/spill times, and the job's
+// metrics snapshot (RPC, shuffle, scheduling and fault counters). The
+// report is returned even when the job fails, so a post-mortem can see how
+// far it got; it is nil only when the job never started.
+func RunWithReport(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.Result, *JobReport, error) {
 	if job.Mapper == nil || job.Reducer == nil {
-		return nil, errors.New("hadoop: job needs Mapper and Reducer")
+		return nil, nil, errors.New("hadoop: job needs Mapper and Reducer")
 	}
 	if job.NumReducers <= 0 {
 		job.NumReducers = 1
 	}
 	cfg = cfg.withDefaults()
+	// Injected faults count toward the same per-job registry, so a chaos
+	// run's report shows re-executions next to the faults that caused them.
+	cfg.Injector.SetMetrics(cfg.Metrics)
 
 	jt := newJobTracker(job, splits, cfg)
 	addr, err := jt.start()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer jt.stop()
 
@@ -172,6 +201,7 @@ func Run(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.Result, err
 	}
 	wg.Wait()
 
+	report := jt.Report()
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
 	if jt.reducesDone == job.NumReducers {
@@ -191,17 +221,17 @@ func Run(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.Result, err
 			MapTasks:          len(splits),
 			FailedAttempts:    reexec,
 			MaxTaskExecutions: maxExec,
-		}, nil
+		}, report, nil
 	}
 	if jt.failure != nil {
-		return nil, jt.failure
+		return nil, report, jt.failure
 	}
 	for _, err := range trackerErrs {
 		if err != nil {
-			return nil, err
+			return nil, report, err
 		}
 	}
-	return nil, fmt.Errorf("hadoop: job ended with %d/%d reduces done", jt.reducesDone, job.NumReducers)
+	return nil, report, fmt.Errorf("hadoop: job ended with %d/%d reduces done", jt.reducesDone, job.NumReducers)
 }
 
 // --------------------------------------------------------------------------
@@ -220,6 +250,7 @@ type jobTracker struct {
 	job    mapred.Job
 	splits []mapred.Split
 	cfg    Config
+	met    *metrics.Registry
 
 	srv     *hadooprpc.Server
 	done    chan struct{}
@@ -239,6 +270,8 @@ type jobTracker struct {
 	outputs        [][]kv.Pair
 	attempts       map[string]int // task key -> failure-charged attempts
 	executions     map[string]int // task key -> times launched
+	mapTimings     map[int]MapTiming
+	reduceTimings  map[int]ReduceTiming
 	failure        error
 }
 
@@ -249,6 +282,7 @@ func newJobTracker(job mapred.Job, splits []mapred.Split, cfg Config) *jobTracke
 		job:            job,
 		splits:         splits,
 		cfg:            cfg,
+		met:            cfg.Metrics,
 		runningMaps:    make(map[int]int),
 		completed:      make(map[int]bool),
 		mapLocation:    make(map[int]int),
@@ -257,6 +291,8 @@ func newJobTracker(job mapred.Job, splits []mapred.Split, cfg Config) *jobTracke
 		outputs:        make([][]kv.Pair, job.NumReducers),
 		attempts:       make(map[string]int),
 		executions:     make(map[string]int),
+		mapTimings:     make(map[int]MapTiming),
+		reduceTimings:  make(map[int]ReduceTiming),
 	}
 	for i := range splits {
 		jt.pendingMaps = append(jt.pendingMaps, i)
@@ -363,6 +399,7 @@ func (jt *jobTracker) sweep(now time.Time) {
 // attempt budget is charged.
 func (jt *jobTracker) markLostLocked(tr *trackerInfo) {
 	tr.lost = true
+	jt.met.Counter("hadoop.trackers_lost").Inc()
 	for task, owner := range jt.runningMaps {
 		if owner == tr.id {
 			delete(jt.runningMaps, task)
@@ -453,6 +490,10 @@ func (jt *jobTracker) handleHeartbeat(params [][]byte) ([]byte, error) {
 			jt.pendingMaps = jt.pendingMaps[1:]
 			jt.runningMaps[task] = tr.id
 			jt.executions[taskKey(taskKindMap, task)]++
+			jt.met.Counter("hadoop.map_launches").Inc()
+			if jt.executions[taskKey(taskKindMap, task)] > 1 {
+				jt.met.Counter("hadoop.reexecutions").Inc()
+			}
 			resp = kv.AppendVLong(resp, actLaunchMap)
 			resp = kv.AppendVLong(resp, int64(task))
 		}
@@ -462,6 +503,10 @@ func (jt *jobTracker) handleHeartbeat(params [][]byte) ([]byte, error) {
 			jt.pendingReduces = jt.pendingReduces[1:]
 			jt.runningReduces[task] = tr.id
 			jt.executions[taskKey(taskKindReduce, task)]++
+			jt.met.Counter("hadoop.reduce_launches").Inc()
+			if jt.executions[taskKey(taskKindReduce, task)] > 1 {
+				jt.met.Counter("hadoop.reexecutions").Inc()
+			}
 			resp = kv.AppendVLong(resp, actLaunchReduce)
 			resp = kv.AppendVLong(resp, int64(task))
 		}
@@ -473,18 +518,28 @@ func (jt *jobTracker) handleHeartbeat(params [][]byte) ([]byte, error) {
 	return resp, nil
 }
 
-// handleMapCompleted: [trackerID, mapID]. Idempotent; completions from
-// trackers already declared lost are ignored (their shuffle output is
-// unreachable and the map was re-queued).
+// handleMapCompleted: [trackerID, mapID, runNs, spillNs]. Idempotent;
+// completions from trackers already declared lost are ignored (their
+// shuffle output is unreachable and the map was re-queued). The trailing
+// parameters carry the task's measured phase wall times for the job
+// report; the latest accepted completion wins.
 func (jt *jobTracker) handleMapCompleted(params [][]byte) ([]byte, error) {
-	if len(params) != 2 {
-		return nil, errors.New("mapCompleted wants 2 parameters")
+	if len(params) != 4 {
+		return nil, errors.New("mapCompleted wants 4 parameters")
 	}
 	trackerID, _, err := kv.ReadVLong(params[0])
 	if err != nil {
 		return nil, err
 	}
 	mapID, _, err := kv.ReadVLong(params[1])
+	if err != nil {
+		return nil, err
+	}
+	runNs, _, err := kv.ReadVLong(params[2])
+	if err != nil {
+		return nil, err
+	}
+	spillNs, _, err := kv.ReadVLong(params[3])
 	if err != nil {
 		return nil, err
 	}
@@ -501,6 +556,12 @@ func (jt *jobTracker) handleMapCompleted(params [][]byte) ([]byte, error) {
 		delete(jt.runningMaps, task)
 	}
 	jt.mapLocation[task] = int(trackerID)
+	jt.mapTimings[task] = MapTiming{
+		Task:    task,
+		Tracker: int(trackerID),
+		Run:     time.Duration(runNs),
+		Spill:   time.Duration(spillNs),
+	}
 	if !jt.completed[task] {
 		jt.completed[task] = true
 		jt.mapsDone++
@@ -508,12 +569,14 @@ func (jt *jobTracker) handleMapCompleted(params [][]byte) ([]byte, error) {
 	return nil, nil
 }
 
-// handleReduceCompleted: [trackerID, reduceID, framedPairs]. Idempotent —
-// duplicate completions (retried RPCs, speculative re-executions after a
-// tracker was wrongly presumed lost) are dropped.
+// handleReduceCompleted: [trackerID, reduceID, framedPairs, copyNs,
+// sortNs, reduceNs]. Idempotent — duplicate completions (retried RPCs,
+// speculative re-executions after a tracker was wrongly presumed lost) are
+// dropped. The trailing parameters carry the reduce task's measured
+// copy/sort/reduce phase wall times for the job report.
 func (jt *jobTracker) handleReduceCompleted(params [][]byte) ([]byte, error) {
-	if len(params) != 3 {
-		return nil, errors.New("reduceCompleted wants 3 parameters")
+	if len(params) != 6 {
+		return nil, errors.New("reduceCompleted wants 6 parameters")
 	}
 	trackerID, _, err := kv.ReadVLong(params[0])
 	if err != nil {
@@ -524,6 +587,18 @@ func (jt *jobTracker) handleReduceCompleted(params [][]byte) ([]byte, error) {
 		return nil, err
 	}
 	pairs, err := decodePairs(params[2])
+	if err != nil {
+		return nil, err
+	}
+	copyNs, _, err := kv.ReadVLong(params[3])
+	if err != nil {
+		return nil, err
+	}
+	sortNs, _, err := kv.ReadVLong(params[4])
+	if err != nil {
+		return nil, err
+	}
+	reduceNs, _, err := kv.ReadVLong(params[5])
 	if err != nil {
 		return nil, err
 	}
@@ -543,6 +618,13 @@ func (jt *jobTracker) handleReduceCompleted(params [][]byte) ([]byte, error) {
 		delete(jt.runningReduces, task)
 	}
 	jt.outputs[task] = pairs
+	jt.reduceTimings[task] = ReduceTiming{
+		Task:    task,
+		Tracker: int(trackerID),
+		Copy:    time.Duration(copyNs),
+		Sort:    time.Duration(sortNs),
+		Reduce:  time.Duration(reduceNs),
+	}
 	jt.doneReduces[task] = true
 	jt.reducesDone++
 	return nil, nil
@@ -580,6 +662,7 @@ func (jt *jobTracker) handleTaskFailed(params [][]byte) ([]byte, error) {
 	task := int(taskID)
 	key := taskKey(kind, task)
 	jt.attempts[key]++
+	jt.met.Counter("hadoop.task_failures").Inc()
 	if jt.attempts[key] >= jt.cfg.MaxTaskAttempts {
 		jt.abortLocked(fmt.Errorf("hadoop: task %s failed %d times, giving up: %s",
 			key, jt.attempts[key], msg))
@@ -628,6 +711,7 @@ func (jt *jobTracker) handleFetchFailed(params [][]byte) ([]byte, error) {
 	}
 	key := taskKey(taskKindMap, task)
 	jt.attempts[key]++
+	jt.met.Counter("hadoop.fetch_failures").Inc()
 	if jt.attempts[key] >= jt.cfg.MaxTaskAttempts {
 		jt.abortLocked(fmt.Errorf("hadoop: map %d unfetchable after %d attempts", task, jt.attempts[key]))
 		return nil, nil

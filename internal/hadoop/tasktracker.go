@@ -12,6 +12,7 @@ import (
 	"github.com/ict-repro/mpid/internal/jetty"
 	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mapred"
+	"github.com/ict-repro/mpid/internal/metrics"
 )
 
 // jobName labels map outputs in the shuffle store.
@@ -35,6 +36,7 @@ type taskTracker struct {
 	splits []mapred.Split
 	cfg    Config
 	inj    *faults.Injector
+	met    *metrics.Registry
 
 	rpc       *hadooprpc.MuxClient
 	store     *jetty.Store
@@ -63,21 +65,24 @@ func newTaskTracker(idx int, jtAddr string, job mapred.Job, splits []mapred.Spli
 		splits:    splits,
 		cfg:       cfg,
 		inj:       cfg.Injector,
+		met:       cfg.Metrics,
 		store:     jetty.NewStore(),
 		fetch:     jetty.NewClient(),
 		mapSem:    make(chan struct{}, cfg.MapSlots),
 		reduceSem: make(chan struct{}, cfg.ReduceSlots),
 	}
-	// The shuffle fetch client shares the RPC retry budget and the fault
-	// injector.
+	// The shuffle fetch client shares the RPC retry budget, the fault
+	// injector and the job's metrics registry.
 	tt.fetch.MaxAttempts = cfg.RPC.MaxAttempts
 	tt.fetch.Backoff = cfg.RPC.Backoff
 	tt.fetch.Injector = cfg.Injector
+	tt.fetch.Metrics = cfg.Metrics
 	tt.fetch.SetSeed(int64(idx) + 1)
 
 	tt.jettySrv = jetty.NewServer(tt.store)
 	tt.jettySrv.Injector = cfg.Injector
 	tt.jettySrv.Component = tt.comp + ".jetty"
+	tt.jettySrv.Metrics = cfg.Metrics
 	addr, err := tt.jettySrv.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -233,13 +238,16 @@ func (tt *taskTracker) launchMap(task int) {
 	go func() {
 		defer tt.tasks.Done()
 		defer func() { <-tt.mapSem }()
-		if err := tt.runMapTask(task); err != nil {
+		ph, err := tt.runMapTask(task)
+		if err != nil {
 			tt.reportTaskFailed(taskKindMap, task, fmt.Errorf("map task %d: %w", task, err))
 			return
 		}
 		if _, err := tt.rpc.Call("mapCompleted",
 			kv.AppendVLong(nil, int64(tt.id)),
-			kv.AppendVLong(nil, int64(task))); err != nil {
+			kv.AppendVLong(nil, int64(task)),
+			kv.AppendVLong(nil, int64(ph.run)),
+			kv.AppendVLong(nil, int64(ph.spill))); err != nil {
 			tt.noteErr(err)
 			return
 		}
@@ -255,14 +263,17 @@ func (tt *taskTracker) launchReduce(task int) {
 	go func() {
 		defer tt.tasks.Done()
 		defer func() { <-tt.reduceSem }()
-		out, err := tt.runReduceTask(task)
+		out, ph, err := tt.runReduceTask(task)
 		if err != nil {
 			tt.reportTaskFailed(taskKindReduce, task, fmt.Errorf("reduce task %d: %w", task, err))
 			return
 		}
 		if _, err := tt.rpc.Call("reduceCompleted",
 			kv.AppendVLong(nil, int64(tt.id)),
-			kv.AppendVLong(nil, int64(task)), out); err != nil {
+			kv.AppendVLong(nil, int64(task)), out,
+			kv.AppendVLong(nil, int64(ph.copy)),
+			kv.AppendVLong(nil, int64(ph.sort)),
+			kv.AppendVLong(nil, int64(ph.reduce))); err != nil {
 			tt.noteErr(err)
 			return
 		}
@@ -272,9 +283,18 @@ func (tt *taskTracker) launchReduce(task int) {
 	}()
 }
 
+// mapPhases is the wall-time breakdown of one map task: run is the record
+// iteration through the user map function, spill is the combine/serialize/
+// publish stage.
+type mapPhases struct {
+	run   time.Duration
+	spill time.Duration
+}
+
 // runMapTask maps one split, partitions the output, optionally combines,
 // and publishes per-reduce partitions into the local shuffle store.
-func (tt *taskTracker) runMapTask(task int) error {
+func (tt *taskTracker) runMapTask(task int) (mapPhases, error) {
+	var ph mapPhases
 	nParts := tt.job.NumReducers
 	partitioner := tt.job.Partitioner
 	if partitioner == nil {
@@ -298,12 +318,17 @@ func (tt *taskTracker) runMapTask(task int) error {
 		groups[p][k] = append(groups[p][k], append([]byte(nil), value...))
 		return nil
 	}
+	runStart := time.Now()
 	if err := tt.splits[task].Records(func(k, v []byte) error {
 		return tt.job.Mapper.Map(k, v, emit)
 	}); err != nil {
-		return err
+		return ph, err
 	}
+	ph.run = time.Since(runStart)
+	tt.met.Timer("task.map.run").ObserveDuration(ph.run)
+
 	// Spill: combine and serialize each partition, publish to the store.
+	spillStart := time.Now()
 	for p := 0; p < nParts; p++ {
 		var buf []byte
 		for _, k := range order[p] {
@@ -315,7 +340,9 @@ func (tt *taskTracker) runMapTask(task int) error {
 		}
 		tt.store.Put(jetty.OutputKey{Job: jobName, Map: task, Reduce: p}, buf)
 	}
-	return nil
+	ph.spill = time.Since(spillStart)
+	tt.met.Timer("task.map.spill").ObserveDuration(ph.spill)
+	return ph, nil
 }
 
 // mapOutputLoc is one completed map's shuffle address.
@@ -325,62 +352,85 @@ type mapOutputLoc struct {
 	addr      string
 }
 
+// reducePhases is the wall-time breakdown of one reduce task — the live
+// counterpart of the paper's Figure 1 per-reducer measurement.
+type reducePhases struct {
+	copy   time.Duration
+	sort   time.Duration
+	reduce time.Duration
+}
+
 // runReduceTask is the copy/sort/reduce lifecycle: poll the jobtracker for
 // completed map locations, fetch partitions over HTTP with a pool of
 // parallel copiers (mapred.reduce.parallel.copies), merge by key, sort, and
-// run the user reduce function.
+// run the user reduce function. The returned phases are the task's wall
+// times per stage, reported to the jobtracker with the output.
 //
 // Each fetched output is parsed completely before it is merged, so a fetch
 // or parse failure leaves no partial state behind: the failure is reported
 // to the jobtracker (fetchFailed), the map is re-executed elsewhere, and
 // the next mapLocations poll redirects this reducer to the new copy.
-func (tt *taskTracker) runReduceTask(task int) ([]byte, error) {
+//
+// Two scheduling rules keep the copy loop honest:
+//
+//   - a mapID may be advertised more than once in a single mapLocations
+//     response (an old and a re-executed copy, both completed); jobs are
+//     deduped per poll, and the merge itself is guarded on the fetched set
+//     under the merge lock, so one map's values can never be merged twice;
+//   - when a poll makes no progress — no new locations, or every fetch
+//     failed — the reducer backs off for a heartbeat instead of hot-polling
+//     the jobtracker in a tight RPC loop while maps are still running.
+func (tt *taskTracker) runReduceTask(task int) ([]byte, reducePhases, error) {
+	var ph reducePhases
 	fetched := make(map[int]bool, len(tt.splits))
 	merged := make(map[string][][]byte)
-	var mergedMu sync.Mutex
+	var mergedMu sync.Mutex // guards merged and fetched together
 	copierSem := make(chan struct{}, tt.cfg.CopierThreads)
 
+	copyStart := time.Now()
 	for len(fetched) < len(tt.splits) {
 		if tt.isAborting() {
-			return nil, fmt.Errorf("job aborted during copy")
+			return nil, ph, fmt.Errorf("job aborted during copy")
 		}
 		locs, err := tt.rpc.Call("mapLocations")
 		if err != nil {
-			return nil, err
+			return nil, ph, err
 		}
 		count, n, err := kv.ReadVLong(locs)
 		if err != nil {
-			return nil, err
+			return nil, ph, err
 		}
 		locs = locs[n:]
 		var jobs []mapOutputLoc
+		queued := make(map[int]bool, int(count))
 		for i := int64(0); i < count; i++ {
 			mapID64, n, err := kv.ReadVLong(locs)
 			if err != nil {
-				return nil, err
+				return nil, ph, err
 			}
 			locs = locs[n:]
 			trackerID64, n, err := kv.ReadVLong(locs)
 			if err != nil {
-				return nil, err
+				return nil, ph, err
 			}
 			locs = locs[n:]
 			addr, n, err := kv.ReadBytes(locs)
 			if err != nil {
-				return nil, err
+				return nil, ph, err
 			}
 			locs = locs[n:]
-			if mapID := int(mapID64); !fetched[mapID] {
+			if mapID := int(mapID64); !fetched[mapID] && !queued[mapID] {
+				queued[mapID] = true
 				jobs = append(jobs, mapOutputLoc{mapID: mapID, trackerID: int(trackerID64), addr: string(addr)})
 			}
 		}
 		// Fetch the new outputs with bounded parallelism. A failed fetch
 		// is reported and skipped, not fatal: the map will move.
 		var (
-			wg        sync.WaitGroup
-			okMu      sync.Mutex
-			succeeded []int
-			failed    []mapOutputLoc
+			wg       sync.WaitGroup
+			okMu     sync.Mutex
+			progress int
+			failed   []mapOutputLoc
 		)
 		for _, j := range jobs {
 			j := j
@@ -397,38 +447,45 @@ func (tt *taskTracker) runReduceTask(task int) ([]byte, error) {
 					return
 				}
 				mergedMu.Lock()
-				for _, kl := range lists {
-					merged[string(kl.Key)] = append(merged[string(kl.Key)], kl.Values...)
+				if !fetched[j.mapID] {
+					for _, kl := range lists {
+						merged[string(kl.Key)] = append(merged[string(kl.Key)], kl.Values...)
+					}
+					fetched[j.mapID] = true
 				}
 				mergedMu.Unlock()
 				okMu.Lock()
-				succeeded = append(succeeded, j.mapID)
+				progress++
 				okMu.Unlock()
 			}()
 		}
 		wg.Wait()
-		for _, mapID := range succeeded {
-			fetched[mapID] = true
-		}
 		for _, j := range failed {
 			if _, err := tt.rpc.Call("fetchFailed",
 				kv.AppendVLong(nil, int64(task)),
 				kv.AppendVLong(nil, int64(j.mapID)),
 				kv.AppendVLong(nil, int64(j.trackerID))); err != nil {
-				return nil, err
+				return nil, ph, err
 			}
 		}
-		if len(fetched) < len(tt.splits) && len(succeeded) < len(jobs) {
+		if len(fetched) < len(tt.splits) && progress == 0 {
 			time.Sleep(tt.cfg.Heartbeat)
 		}
 	}
+	ph.copy = time.Since(copyStart)
+	tt.met.Timer("task.reduce.copy").ObserveDuration(ph.copy)
 
 	// Sort keys (the merge-sort phase) and reduce.
+	sortStart := time.Now()
 	keys := make([]string, 0, len(merged))
 	for k := range merged {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	ph.sort = time.Since(sortStart)
+	tt.met.Timer("task.reduce.sort").ObserveDuration(ph.sort)
+
+	reduceStart := time.Now()
 	var out []byte
 	emit := func(key, value []byte) error {
 		out = kv.AppendPair(out, kv.Pair{Key: key, Value: value})
@@ -436,10 +493,12 @@ func (tt *taskTracker) runReduceTask(task int) ([]byte, error) {
 	}
 	for _, k := range keys {
 		if err := tt.job.Reducer.Reduce([]byte(k), merged[k], emit); err != nil {
-			return nil, err
+			return nil, ph, err
 		}
 	}
-	return out, nil
+	ph.reduce = time.Since(reduceStart)
+	tt.met.Timer("task.reduce.reduce").ObserveDuration(ph.reduce)
+	return out, ph, nil
 }
 
 // fetchAndParse retrieves one map output partition and decodes it fully,

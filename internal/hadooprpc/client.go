@@ -123,6 +123,11 @@ func (c *Client) dropLocked() {
 func (c *Client) Call(method string, params ...[]byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	m := c.opts.Metrics
+	m.Counter("rpc.calls").Inc()
+	m.Counter("rpc.calls." + method).Inc()
+	start := time.Now()
+	defer func() { m.Timer("rpc.latency").ObserveDuration(time.Since(start)) }()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if c.closed {
@@ -130,12 +135,17 @@ func (c *Client) Call(method string, params ...[]byte) ([]byte, error) {
 		}
 		value, err := c.attemptLocked(method, params)
 		if err == nil || !retryable(err) {
+			if err != nil {
+				m.Counter("rpc.errors").Inc()
+			}
 			return value, err
 		}
 		lastErr = err
 		if attempt >= c.opts.MaxAttempts {
+			m.Counter("rpc.errors").Inc()
 			return nil, lastErr
 		}
+		m.Counter("rpc.retries").Inc()
 		// Sleeping under the lock is deliberate: one call in flight at a
 		// time is this client's contract.
 		time.Sleep(c.opts.Backoff.Delay(attempt, c.jit))
@@ -182,6 +192,7 @@ func (c *Client) callLocked(method string, params [][]byte) ([]byte, error) {
 	if err := c.w.Flush(); err != nil {
 		return nil, err
 	}
+	c.opts.Metrics.Counter("rpc.bytes_sent").Add(int64(len(frame)))
 	gotID, value, err := readResponse(c.r)
 	if err != nil {
 		return nil, err
@@ -189,6 +200,7 @@ func (c *Client) callLocked(method string, params [][]byte) ([]byte, error) {
 	if gotID != id {
 		return nil, fmt.Errorf("hadooprpc: response id %d for call %d", gotID, id)
 	}
+	c.opts.Metrics.Counter("rpc.bytes_recv").Add(int64(len(value)))
 	return value, nil
 }
 

@@ -226,12 +226,14 @@ func (c *MuxClient) callOn(mc *muxConn, method string, params [][]byte) ([]byte,
 		return nil, err
 	}
 	mc.mu.Unlock()
+	c.opts.Metrics.Counter("rpc.bytes_sent").Add(int64(len(frame)))
 
 	if c.opts.CallTimeout > 0 {
 		timer := time.NewTimer(c.opts.CallTimeout)
 		defer timer.Stop()
 		select {
 		case res := <-ch:
+			c.opts.Metrics.Counter("rpc.bytes_recv").Add(int64(len(res.value)))
 			return res.value, res.err
 		case <-timer.C:
 			mc.kill(errConnAbandoned)
@@ -239,6 +241,7 @@ func (c *MuxClient) callOn(mc *muxConn, method string, params [][]byte) ([]byte,
 		}
 	}
 	res := <-ch
+	c.opts.Metrics.Counter("rpc.bytes_recv").Add(int64(len(res.value)))
 	return res.value, res.err
 }
 
@@ -256,17 +259,27 @@ func (c *MuxClient) invalidate(mc *muxConn) {
 // many goroutines at once. Transport failures are retried on a fresh
 // connection up to Options.MaxAttempts total attempts.
 func (c *MuxClient) Call(method string, params ...[]byte) ([]byte, error) {
+	m := c.opts.Metrics
+	m.Counter("rpc.calls").Inc()
+	m.Counter("rpc.calls." + method).Inc()
+	start := time.Now()
+	defer func() { m.Timer("rpc.latency").ObserveDuration(time.Since(start)) }()
 	for attempt := 1; ; attempt++ {
 		value, err := c.attempt(method, params)
 		if err == nil || !retryable(err) {
+			if err != nil {
+				m.Counter("rpc.errors").Inc()
+			}
 			return value, err
 		}
 		c.mu.Lock()
 		closed := c.closed
 		c.mu.Unlock()
 		if closed || attempt >= c.opts.MaxAttempts {
+			m.Counter("rpc.errors").Inc()
 			return nil, err
 		}
+		m.Counter("rpc.retries").Inc()
 		time.Sleep(c.opts.Backoff.Delay(attempt, c.jit))
 	}
 }

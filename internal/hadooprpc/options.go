@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/ict-repro/mpid/internal/faults"
+	"github.com/ict-repro/mpid/internal/metrics"
 )
 
 // Options configures a client's fault-tolerance behaviour: connect and
@@ -36,6 +37,12 @@ type Options struct {
 	// Component names this client to the injector (default
 	// "hadooprpc.client").
 	Component string
+	// Metrics, when set, receives per-call observability: "rpc.calls" and
+	// "rpc.calls.<method>" counters, an "rpc.latency" timer over whole
+	// Calls (retries included), "rpc.retries" and "rpc.errors" counters,
+	// and "rpc.bytes_sent"/"rpc.bytes_recv" for framed wire bytes. A nil
+	// registry records nothing.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/ict-repro/mpid/internal/faults"
+	"github.com/ict-repro/mpid/internal/metrics"
 )
 
 // ErrGone marks a fetch the server answered 410 Gone for: the map output no
@@ -127,6 +128,9 @@ type Server struct {
 	Injector *faults.Injector
 	// Component names this server to the injector (default "jetty.server").
 	Component string
+	// Metrics, when set, counts served map outputs ("shuffle.serves") and
+	// body bytes written ("shuffle.serve_bytes"). Set before Listen.
+	Metrics *metrics.Registry
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -205,6 +209,8 @@ func (s *Server) handleMapOutput(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(HeaderMapOutputLength, strconv.Itoa(len(data)))
 	w.Header().Set(HeaderForReduce, strconv.Itoa(reduceID))
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	s.Metrics.Counter("shuffle.serves").Inc()
+	s.Metrics.Counter("shuffle.serve_bytes").Add(int64(len(data)))
 	s.writeChunked(w, data)
 }
 
@@ -282,6 +288,12 @@ type Client struct {
 	Injector *faults.Injector
 	// Component names this client to the injector (default "jetty.client").
 	Component string
+	// Metrics, when set, receives fetch observability: "shuffle.fetches"
+	// and "shuffle.fetch_bytes" counters, a "shuffle.fetch_latency" timer
+	// over whole fetches (retries included), "shuffle.fetch_retries" for
+	// repeated attempts against the same server and
+	// "shuffle.fetch_errors" for fetches that failed for good.
+	Metrics *metrics.Registry
 
 	jit *faults.Jitter
 }
@@ -314,14 +326,24 @@ func (c *Client) FetchMapOutput(addr string, key OutputKey) ([]byte, error) {
 	if attempts <= 0 {
 		attempts = 1
 	}
+	c.Metrics.Counter("shuffle.fetches").Inc()
+	start := time.Now()
+	defer func() { c.Metrics.Timer("shuffle.fetch_latency").ObserveDuration(time.Since(start)) }()
 	for attempt := 1; ; attempt++ {
 		data, err := c.fetchOnce(url, addr)
 		if err == nil || !fetchRetryable(err) {
+			if err != nil {
+				c.Metrics.Counter("shuffle.fetch_errors").Inc()
+			} else {
+				c.Metrics.Counter("shuffle.fetch_bytes").Add(int64(len(data)))
+			}
 			return data, err
 		}
 		if attempt >= attempts {
+			c.Metrics.Counter("shuffle.fetch_errors").Inc()
 			return nil, err
 		}
+		c.Metrics.Counter("shuffle.fetch_retries").Inc()
 		time.Sleep(c.Backoff.Delay(attempt, c.jit))
 	}
 }

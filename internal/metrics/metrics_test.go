@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(5)
+	r.Timer("t").Observe(1.0)
+	r.Timer("t").ObserveDuration(time.Second)
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Fatalf("nil gauge value = %d", got)
+	}
+	if got := r.Timer("t").Stats(); got.Count != 0 {
+		t.Fatalf("nil timer stats = %+v", got)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Timers) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", snap)
+	}
+	if r.String() != "" {
+		t.Fatalf("nil registry renders %q", r.String())
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rpc.calls")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // counters never go down
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("rpc.calls") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestTimerStats(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("lat")
+	for i := 1; i <= 100; i++ {
+		tm.Observe(float64(i))
+	}
+	s := tm.Stats()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Mean != 50.5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.P50 < 45 || s.P50 > 56 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.P95 < 90 || s.P95 > 100 {
+		t.Fatalf("p95 = %v", s.P95)
+	}
+}
+
+func TestTimerDecimationBoundsMemory(t *testing.T) {
+	tm := &Timer{}
+	n := timerSampleCap * 10
+	for i := 0; i < n; i++ {
+		tm.Observe(float64(i))
+	}
+	s := tm.Stats()
+	if s.Count != int64(n) {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	if s.Min != 0 || s.Max != float64(n-1) {
+		t.Fatalf("exact min/max lost: %v/%v", s.Min, s.Max)
+	}
+	tm.mu.Lock()
+	retained := len(tm.sample)
+	tm.mu.Unlock()
+	if retained >= timerSampleCap {
+		t.Fatalf("sample grew to %d, cap is %d", retained, timerSampleCap)
+	}
+	// Percentiles should still be in the right neighbourhood.
+	if s.P50 < float64(n)*0.3 || s.P50 > float64(n)*0.7 {
+		t.Fatalf("p50 = %v after decimation (n=%d)", s.P50, n)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Add(1)
+				r.Timer("t").Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+	if got := r.Gauge("g").Value(); got != workers*each {
+		t.Fatalf("gauge = %d, want %d", got, workers*each)
+	}
+	if got := r.Timer("t").Stats().Count; got != workers*each {
+		t.Fatalf("timer count = %d, want %d", got, workers*each)
+	}
+}
+
+func TestSnapshotRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rpc.calls").Add(12)
+	r.Gauge("trackers.live").Set(3)
+	r.Timer("rpc.latency").ObserveDuration(3 * time.Millisecond)
+	out := r.String()
+	for _, want := range []string{"rpc.calls", "12", "trackers.live (gauge)", "rpc.latency", "3.00ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	snap := r.Snapshot()
+	if snap.Counter("rpc.calls") != 12 {
+		t.Fatalf("snapshot counter = %d", snap.Counter("rpc.calls"))
+	}
+	if snap.Counter("absent") != 0 {
+		t.Fatal("absent counter should read 0")
+	}
+}
