@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build vet test race chaos bench report examples clean
+.PHONY: all check build vet test race chaos bench bench-smoke trace-demo report examples clean
 
 all: build vet test
 
@@ -29,6 +29,20 @@ race:
 bench:
 	go test -bench=. -benchmem ./...
 
+# One iteration of every benchmark — a CI smoke test that the bench code
+# still compiles and runs, without the timing noise of a real bench run.
+bench-smoke:
+	go test -bench=. -benchtime=1x ./...
+
+# End-to-end tracing demo: run a WordCount over this Makefile's README on
+# the live hadoop engine with span collection on, print the ASCII
+# timeline and final metrics, then validate that the exported JSON will
+# load in chrome://tracing.
+trace-demo:
+	go run ./cmd/mpid-job -job wordcount -input README.md -engine hadoop \
+		-block 4 -mappers 2 -trace trace-demo.json -metrics -top 5
+	go run ./cmd/mpid-trace trace-demo.json
+
 # Full paper reproduction (150 GB Table I sweep, 100 GB Figure 6 sweep).
 report:
 	go run ./cmd/mpid-report
@@ -43,3 +57,4 @@ examples:
 
 clean:
 	go clean ./...
+	rm -f trace-demo.json

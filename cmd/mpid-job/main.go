@@ -13,6 +13,12 @@
 //	sort       lines sorted lexicographically (range-partitioned)
 //
 // Output goes to stdout as key<TAB>value lines, like Hadoop's text output.
+//
+// On the hadoop engine, observability flags are available: -metrics
+// prints the jobtracker's final counter snapshot, -trace FILE writes a
+// Chrome trace-event JSON of every task attempt (and prints an ASCII
+// timeline), and -admin ADDR serves /metrics, /trace.json, /timeline and
+// /debug/pprof/ live for the job's duration.
 package main
 
 import (
@@ -38,10 +44,16 @@ func main() {
 	mappers := flag.Int("mappers", runtime.GOMAXPROCS(0), "mapper count (mpid engine) / tasktrackers (hadoop engine)")
 	blockKB := flag.Int("block", 256, "split size in KB")
 	top := flag.Int("top", 0, "print only the first N output pairs (0 = all)")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the job to this file (hadoop engine)")
+	adminAddr := flag.String("admin", "", "serve /metrics, /trace.json, /timeline and pprof on this address for the job's duration (hadoop engine; use 127.0.0.1:0 for an ephemeral port)")
+	showMetrics := flag.Bool("metrics", false, "print the job's final metrics snapshot to stderr (hadoop engine)")
 	flag.Parse()
 
 	if *input == "" {
 		fatal(fmt.Errorf("-input is required"))
+	}
+	if *engine != "hadoop" && (*traceFile != "" || *adminAddr != "" || *showMetrics) {
+		fatal(fmt.Errorf("-trace, -admin and -metrics need -engine hadoop (the mpid engine has no jobtracker to observe)"))
 	}
 	text, err := os.ReadFile(*input)
 	if err != nil {
@@ -59,7 +71,21 @@ func main() {
 	case "mpid":
 		result, err = mapred.Run(job, splits, *mappers)
 	case "hadoop":
-		result, err = hadoop.Run(job, splits, hadoop.Config{NumTrackers: *mappers})
+		var rep *hadoop.JobReport
+		result, rep, err = hadoop.RunWithReport(job, splits, hadoop.Config{
+			NumTrackers: *mappers,
+			AdminAddr:   *adminAddr,
+		})
+		if err == nil {
+			if *showMetrics {
+				fmt.Fprint(os.Stderr, rep.Metrics.String())
+			}
+			if *traceFile != "" {
+				if werr := writeTrace(*traceFile, rep); werr != nil {
+					fatal(werr)
+				}
+			}
+		}
 	default:
 		err = fmt.Errorf("unknown engine %q (want mpid or hadoop)", *engine)
 	}
@@ -167,6 +193,22 @@ func buildJob(name, pattern string, reducers int) (mapred.Job, error) {
 		}, nil
 	}
 	return mapred.Job{}, fmt.Errorf("unknown job %q (want wordcount, grep or sort)", name)
+}
+
+// writeTrace exports the job's span trace as Chrome trace-event JSON
+// (load it at chrome://tracing or ui.perfetto.dev) and prints the ASCII
+// timeline of the same spans to stderr.
+func writeTrace(path string, rep *hadoop.JobReport) error {
+	data, err := rep.ChromeTrace()
+	if err != nil {
+		return fmt.Errorf("trace export: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mpid-job: wrote %d spans to %s (open in chrome://tracing)\n\n%s",
+		len(rep.Spans), path, rep.Timeline(100))
+	return nil
 }
 
 func fatal(err error) {

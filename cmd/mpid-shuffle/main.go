@@ -31,7 +31,14 @@ func main() {
 	sizeGB := flag.Int64("size", 150, "Figure 1 input size in GB")
 	maxGB := flag.Int64("max", 150, "largest Table I input size in GB")
 	liveKB := flag.Int64("livekb", 256, "live run input size in KB")
+	traceFile := flag.String("trace", "", "with -live: write a Chrome trace-event JSON of the run to this file")
+	adminAddr := flag.String("admin", "", "with -live: serve /metrics, /trace.json, /timeline and pprof on this address during the run")
 	flag.Parse()
+
+	if (*traceFile != "" || *adminAddr != "") && !*live {
+		fmt.Fprintln(os.Stderr, "mpid-shuffle: -trace and -admin only apply to -live runs")
+		os.Exit(2)
+	}
 
 	runFig1 := *fig1 || !*table1
 	runTable1 := *table1 || !*fig1
@@ -45,11 +52,24 @@ func main() {
 		fmt.Println(experiments.RenderTable1(cells))
 	}
 	if *live {
-		r, err := experiments.Figure1Live(*liveKB << 10)
+		r, err := experiments.Figure1LiveAt(*liveKB<<10, *adminAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mpid-shuffle:", err)
 			os.Exit(1)
 		}
 		fmt.Println(experiments.RenderFigure1Live(r))
+		if *traceFile != "" {
+			data, err := r.Report.ChromeTrace()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpid-shuffle: trace export:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*traceFile, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "mpid-shuffle:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "mpid-shuffle: wrote %d spans to %s (open in chrome://tracing)\n",
+				len(r.Report.Spans), *traceFile)
+		}
 	}
 }

@@ -1,0 +1,45 @@
+// Command mpid-trace validates a Chrome trace-event JSON file (as written
+// by `mpid-job -trace` or `mpid-shuffle -live -trace`) and prints its
+// statistics: event and span counts, process lanes, and trace duration.
+// It checks what chrome://tracing would choke on — the document
+// unmarshals, timestamps are non-negative and durations well-formed, and
+// every duration event is a complete "X" (or a matched B/E pair).
+//
+//	mpid-trace out.json
+//
+// Exit status 0 means the file will load; 1 means it will not, with the
+// reason on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ict-repro/mpid/internal/trace"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mpid-trace FILE.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpid-trace:", err)
+		os.Exit(1)
+	}
+	st, err := trace.ValidateChrome(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpid-trace: %s is not a loadable trace: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: ok — %d events, %d spans, %d process lanes, %s span\n",
+		path, st.Events, st.Spans, st.Procs, st.Duration)
+}

@@ -1,0 +1,104 @@
+// Package admin is the live observability endpoint: a small HTTP server
+// exposing the job's metrics registry, its trace in Chrome trace-event
+// form, an ASCII timeline, and net/http/pprof — the runtime introspection
+// a real Hadoop cluster gets from its web UIs and JMX, scaled down to one
+// process. The hadoop engine starts one per job when Config.AdminAddr is
+// set; cmd/mpid-job and cmd/mpid-shuffle expose it behind -admin.
+package admin
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/trace"
+)
+
+// Server serves the admin endpoints over one listener:
+//
+//	/metrics        text snapshot of the metrics registry
+//	/trace.json     Chrome trace-event JSON of the spans collected so far
+//	/timeline       fixed-width ASCII Gantt of the same spans
+//	/debug/pprof/   the standard net/http/pprof handlers
+//
+// Reads are live: each request snapshots the registry/tracer at that
+// moment, so polling /metrics during a job watches counters move.
+type Server struct {
+	met *metrics.Registry
+	tr  *trace.Tracer
+
+	srv *http.Server
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New binds addr (use "127.0.0.1:0" for an ephemeral port) and starts
+// serving. A nil registry or tracer is allowed and serves empty content.
+func New(addr string, met *metrics.Registry, tr *trace.Tracer) (*Server, error) {
+	s := &Server{met: met, tr: tr}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/trace.json", s.handleTrace)
+	mux.HandleFunc("/timeline", s.handleTimeline)
+	// pprof registers itself on http.DefaultServeMux; wire its handlers
+	// onto this private mux instead so the admin server is self-contained.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.srv.Serve(ln) // returns on Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.srv.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte(s.met.Snapshot().String()))
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	data, err := trace.ChromeTrace(s.tr.Spans())
+	if err != nil {
+		http.Error(w, "admin: trace export: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte(trace.RenderTimeline(s.tr.Spans(), 80)))
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/trace"
 )
 
 // Action is what a matched rule does to the operation.
@@ -95,6 +96,7 @@ type Injector struct {
 	crashed     map[string]bool
 	partitioned map[[2]string]bool
 	metrics     *metrics.Registry
+	tracer      *trace.Tracer
 }
 
 // New creates an injector whose probabilistic draws are driven by seed.
@@ -119,6 +121,19 @@ func (in *Injector) SetMetrics(m *metrics.Registry) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.metrics = m
+}
+
+// SetTracer wires a span collector into the injector: every fired fault
+// records an instant trace.KindFault span named
+// "fault.<fail|delay|drop|crash>" annotated with the component, operation
+// and peer it hit. A nil tracer (or nil injector) records nothing.
+func (in *Injector) SetTracer(tr *trace.Tracer) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.tracer = tr
 }
 
 // Add appends a rule.
@@ -237,11 +252,15 @@ func (in *Injector) Check(component, operation, peer string) error {
 		in.crashed[component] = true
 	}
 	errOverride, delay := fired.Err, fired.Delay
-	m := in.metrics
+	m, tr := in.metrics, in.tracer
 	in.mu.Unlock()
 
 	m.Counter("faults.injected").Inc()
 	m.Counter("faults.injected." + actionName(action)).Inc()
+	tr.Instant(trace.Context{}, "fault."+actionName(action), trace.KindFault,
+		trace.Annotation{Key: "component", Value: component},
+		trace.Annotation{Key: "operation", Value: operation},
+		trace.Annotation{Key: "peer", Value: peer})
 
 	switch action {
 	case Delay:

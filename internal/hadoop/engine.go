@@ -31,11 +31,13 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ict-repro/mpid/internal/admin"
 	"github.com/ict-repro/mpid/internal/faults"
 	"github.com/ict-repro/mpid/internal/hadooprpc"
 	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mapred"
 	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/trace"
 )
 
 // Config sizes the mini-cluster.
@@ -82,6 +84,20 @@ type Config struct {
 	// an Injector is set — injected-fault counts. Left nil, Run creates a
 	// fresh registry per job so the jobtracker Report is always populated.
 	Metrics *metrics.Registry
+	// Tracer is the jobtracker's span collector. Every job is traced: the
+	// jobtracker opens a root job span plus a scheduler-side span per task
+	// attempt (ended "ok", "failed" or "lost" — which is how attempts that
+	// died with their tracker still appear in the trace), tasktrackers
+	// record task/phase/fetch spans and ship them on heartbeat and
+	// completion RPCs, and the aggregate lands in JobReport.Spans. Left
+	// nil, a fresh collector (proc "jobtracker") is created per job.
+	Tracer *trace.Tracer
+	// AdminAddr, when non-empty, runs a live admin HTTP server on that
+	// address for the duration of the job, serving /metrics (registry
+	// snapshot), /trace.json (Chrome trace-event export of the spans
+	// collected so far), /timeline (ASCII Gantt) and net/http/pprof under
+	// /debug/pprof/. Use "127.0.0.1:0" for an ephemeral port.
+	AdminAddr string
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +130,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
+	}
+	if c.Tracer == nil {
+		c.Tracer = trace.New("jobtracker")
 	}
 	return c
 }
@@ -178,11 +197,21 @@ func RunWithReport(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.R
 	cfg.Injector.SetMetrics(cfg.Metrics)
 
 	jt := newJobTracker(job, splits, cfg)
+	// Fault firings get their own trace lane; closeTrace merges it.
+	cfg.Injector.SetTracer(jt.faultTr)
 	addr, err := jt.start()
 	if err != nil {
 		return nil, nil, err
 	}
 	defer jt.stop()
+
+	if cfg.AdminAddr != "" {
+		adm, err := admin.New(cfg.AdminAddr, cfg.Metrics, jt.tr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("hadoop: admin server: %w", err)
+		}
+		defer adm.Close()
+	}
 
 	var wg sync.WaitGroup
 	trackerErrs := make([]error, cfg.NumTrackers)
@@ -201,6 +230,7 @@ func RunWithReport(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.R
 	}
 	wg.Wait()
 
+	jt.closeTrace()
 	report := jt.Report()
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
@@ -251,12 +281,20 @@ type jobTracker struct {
 	splits []mapred.Split
 	cfg    Config
 	met    *metrics.Registry
+	tr     *trace.Tracer
+	// faultTr is a dedicated lane for injected-fault instants; the shared
+	// injector fires from every process, so attributing its spans to one
+	// tracker would lie. closeTrace merges it into tr.
+	faultTr *trace.Tracer
 
 	srv     *hadooprpc.Server
 	done    chan struct{}
 	sweeper sync.WaitGroup
 
 	mu             sync.Mutex
+	jobSpan        *trace.Span
+	attemptSpans   map[string]*trace.Span // open scheduler-side attempt spans
+	seenSpans      map[uint64]bool        // shipped span ids, for replay dedup
 	trackers       []*trackerInfo
 	pendingMaps    []int
 	runningMaps    map[int]int // map task -> tracker currently executing it
@@ -283,6 +321,10 @@ func newJobTracker(job mapred.Job, splits []mapred.Split, cfg Config) *jobTracke
 		splits:         splits,
 		cfg:            cfg,
 		met:            cfg.Metrics,
+		tr:             cfg.Tracer,
+		faultTr:        trace.New("faults"),
+		attemptSpans:   make(map[string]*trace.Span),
+		seenSpans:      make(map[uint64]bool),
 		runningMaps:    make(map[int]int),
 		completed:      make(map[int]bool),
 		mapLocation:    make(map[int]int),
@@ -322,6 +364,11 @@ func (jt *jobTracker) start() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	jt.mu.Lock()
+	jt.jobSpan = jt.tr.StartRoot("job", trace.KindJob)
+	jt.jobSpan.Annotate("maps", fmt.Sprint(len(jt.splits)))
+	jt.jobSpan.Annotate("reduces", fmt.Sprint(jt.job.NumReducers))
+	jt.mu.Unlock()
 	if jt.cfg.TrackerTimeout > 0 {
 		jt.done = make(chan struct{})
 		jt.sweeper.Add(1)
@@ -392,6 +439,77 @@ func (jt *jobTracker) sweep(now time.Time) {
 	}
 }
 
+// closeTrace finishes the job's trace: scheduler attempt spans still open
+// when the cluster wound down are closed as "abandoned", the fault lane is
+// merged in, and the root job span ends. Called once after all trackers
+// have exited, before the report is taken.
+func (jt *jobTracker) closeTrace() {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	for key, s := range jt.attemptSpans {
+		s.Annotate("status", "abandoned")
+		s.End()
+		delete(jt.attemptSpans, key)
+	}
+	status := "ok"
+	if jt.failure != nil {
+		status = "failed"
+	}
+	jt.jobSpan.Annotate("status", status)
+	jt.jobSpan.End()
+	jt.tr.Add(jt.faultTr.Drain()...)
+}
+
+// startAttemptLocked opens the scheduler-side span for one task attempt.
+// These spans live on the jobtracker, not the tracker running the task, so
+// an attempt that dies with its tracker — which can never ship its own
+// spans — still appears in the trace, ended "lost". The span id rides the
+// launch action so the tracker's task span can parent under it.
+func (jt *jobTracker) startAttemptLocked(kind string, task, trackerID int) *trace.Span {
+	key := taskKey(kind, task)
+	if old := jt.attemptSpans[key]; old != nil {
+		old.Annotate("status", "superseded")
+		old.End()
+	}
+	s := jt.tr.StartChild(jt.jobSpan.Context(), key, trace.KindAttempt)
+	s.Annotate("attempt", fmt.Sprint(jt.executions[key]))
+	s.Annotate("tracker", fmt.Sprint(trackerID))
+	jt.attemptSpans[key] = s
+	return s
+}
+
+// endAttemptLocked closes the open attempt span for a task, if any, with a
+// terminal status ("ok", "failed", "lost").
+func (jt *jobTracker) endAttemptLocked(kind string, task int, status string) {
+	key := taskKey(kind, task)
+	if s := jt.attemptSpans[key]; s != nil {
+		s.Annotate("status", status)
+		s.End()
+		delete(jt.attemptSpans, key)
+	}
+}
+
+// ingestSpansLocked merges a span batch a tasktracker shipped on an RPC.
+// Batches can be redelivered (the RPC layer retries whole frames), so
+// spans already seen are dropped by id.
+func (jt *jobTracker) ingestSpansLocked(blob []byte) {
+	if len(blob) == 0 {
+		return
+	}
+	spans, err := trace.DecodeSpans(blob)
+	if err != nil {
+		jt.met.Counter("trace.corrupt_batches").Inc()
+		return
+	}
+	for _, s := range spans {
+		if jt.seenSpans[s.ID] {
+			continue
+		}
+		jt.seenSpans[s.ID] = true
+		jt.tr.Add(s)
+	}
+}
+
 // markLostLocked declares a tracker dead: its running tasks go back to the
 // queues, and its completed map outputs — which lived in its now-dead
 // shuffle server — are marked incomplete so the maps re-execute elsewhere.
@@ -404,6 +522,7 @@ func (jt *jobTracker) markLostLocked(tr *trackerInfo) {
 		if owner == tr.id {
 			delete(jt.runningMaps, task)
 			jt.pendingMaps = append(jt.pendingMaps, task)
+			jt.endAttemptLocked(taskKindMap, task, "lost")
 		}
 	}
 	for task, done := range jt.completed {
@@ -418,13 +537,16 @@ func (jt *jobTracker) markLostLocked(tr *trackerInfo) {
 		if owner == tr.id {
 			delete(jt.runningReduces, task)
 			jt.pendingReduces = append(jt.pendingReduces, task)
+			jt.endAttemptLocked(taskKindReduce, task, "lost")
 		}
 	}
 }
 
-// handleRegister: [jettyAddr] -> trackerID.
+// handleRegister: [jettyAddr] -> [trackerID, jobTraceContext]. The trailing
+// trace context (framed bytes) parents every tracker-side span under the
+// job's root span; clients of servers that don't send it trace standalone.
 func (jt *jobTracker) handleRegister(params [][]byte) ([]byte, error) {
-	if len(params) != 1 {
+	if len(params) < 1 {
 		return nil, errors.New("register wants 1 parameter")
 	}
 	jt.mu.Lock()
@@ -435,15 +557,20 @@ func (jt *jobTracker) handleRegister(params [][]byte) ([]byte, error) {
 		jettyAddr: string(params[0]),
 		lastSeen:  time.Now(),
 	})
-	return kv.AppendVLong(nil, int64(id)), nil
+	resp := kv.AppendVLong(nil, int64(id))
+	resp = kv.AppendBytes(resp, trace.EncodeContext(jt.jobSpan.Context()))
+	return resp, nil
 }
 
-// handleHeartbeat: [trackerID, seq, freeMapSlots, freeReduceSlots] ->
-// action list. At most one map and one reduce launch per heartbeat, the
-// 0.20 behaviour. A repeated seq replays the cached response, so a
-// transport-level retry of a lost response cannot double-assign tasks.
+// handleHeartbeat: [trackerID, seq, freeMapSlots, freeReduceSlots, spans?]
+// -> action list. At most one map and one reduce launch per heartbeat, the
+// 0.20 behaviour; launch actions are [act, task, attempt, spanID] so the
+// tracker can label and parent its task span. A repeated seq replays the
+// cached response, so a transport-level retry of a lost response cannot
+// double-assign tasks. The optional fifth parameter is an encoded span
+// batch the tracker drained since its last report.
 func (jt *jobTracker) handleHeartbeat(params [][]byte) ([]byte, error) {
-	if len(params) != 4 {
+	if len(params) < 4 {
 		return nil, errors.New("heartbeat wants 4 parameters")
 	}
 	trackerID, _, err := kv.ReadVLong(params[0])
@@ -471,7 +598,11 @@ func (jt *jobTracker) handleHeartbeat(params [][]byte) ([]byte, error) {
 	tr := jt.trackers[trackerID]
 	tr.lastSeen = time.Now()
 	if seq == tr.lastSeq && tr.lastResp != nil {
+		// Replayed heartbeat: its span batch was ingested on first delivery.
 		return tr.lastResp, nil
+	}
+	if len(params) > 4 {
+		jt.ingestSpansLocked(params[4])
 	}
 
 	var resp []byte
@@ -494,8 +625,11 @@ func (jt *jobTracker) handleHeartbeat(params [][]byte) ([]byte, error) {
 			if jt.executions[taskKey(taskKindMap, task)] > 1 {
 				jt.met.Counter("hadoop.reexecutions").Inc()
 			}
+			span := jt.startAttemptLocked(taskKindMap, task, tr.id)
 			resp = kv.AppendVLong(resp, actLaunchMap)
 			resp = kv.AppendVLong(resp, int64(task))
+			resp = kv.AppendVLong(resp, int64(jt.executions[taskKey(taskKindMap, task)]))
+			resp = kv.AppendVLong(resp, int64(span.Context().Span))
 		}
 		slowstartMet := float64(jt.mapsDone) >= jt.cfg.SlowstartFraction*float64(len(jt.splits))
 		if freeReduce > 0 && slowstartMet && len(jt.pendingReduces) > 0 {
@@ -507,8 +641,11 @@ func (jt *jobTracker) handleHeartbeat(params [][]byte) ([]byte, error) {
 			if jt.executions[taskKey(taskKindReduce, task)] > 1 {
 				jt.met.Counter("hadoop.reexecutions").Inc()
 			}
+			span := jt.startAttemptLocked(taskKindReduce, task, tr.id)
 			resp = kv.AppendVLong(resp, actLaunchReduce)
 			resp = kv.AppendVLong(resp, int64(task))
+			resp = kv.AppendVLong(resp, int64(jt.executions[taskKey(taskKindReduce, task)]))
+			resp = kv.AppendVLong(resp, int64(span.Context().Span))
 		}
 	}
 	if resp == nil {
@@ -518,13 +655,15 @@ func (jt *jobTracker) handleHeartbeat(params [][]byte) ([]byte, error) {
 	return resp, nil
 }
 
-// handleMapCompleted: [trackerID, mapID, runNs, spillNs]. Idempotent;
-// completions from trackers already declared lost are ignored (their
-// shuffle output is unreachable and the map was re-queued). The trailing
-// parameters carry the task's measured phase wall times for the job
-// report; the latest accepted completion wins.
+// handleMapCompleted: [trackerID, mapID, runNs, spillNs, spans?].
+// Idempotent; completions from trackers already declared lost are ignored
+// (their shuffle output is unreachable and the map was re-queued). The
+// runNs/spillNs parameters carry the task's measured phase wall times for
+// the job report (the latest accepted completion wins); the optional fifth
+// is the tracker's drained span batch, which is ingested even from lost
+// trackers — the work happened, the trace should show it.
 func (jt *jobTracker) handleMapCompleted(params [][]byte) ([]byte, error) {
-	if len(params) != 4 {
+	if len(params) < 4 {
 		return nil, errors.New("mapCompleted wants 4 parameters")
 	}
 	trackerID, _, err := kv.ReadVLong(params[0])
@@ -548,6 +687,9 @@ func (jt *jobTracker) handleMapCompleted(params [][]byte) ([]byte, error) {
 	if trackerID < 0 || int(trackerID) >= len(jt.trackers) {
 		return nil, fmt.Errorf("unknown tracker %d", trackerID)
 	}
+	if len(params) > 4 {
+		jt.ingestSpansLocked(params[4])
+	}
 	if jt.trackers[trackerID].lost {
 		return nil, nil
 	}
@@ -555,6 +697,7 @@ func (jt *jobTracker) handleMapCompleted(params [][]byte) ([]byte, error) {
 	if owner, running := jt.runningMaps[task]; running && owner == int(trackerID) {
 		delete(jt.runningMaps, task)
 	}
+	jt.endAttemptLocked(taskKindMap, task, "ok")
 	jt.mapLocation[task] = int(trackerID)
 	jt.mapTimings[task] = MapTiming{
 		Task:    task,
@@ -570,12 +713,13 @@ func (jt *jobTracker) handleMapCompleted(params [][]byte) ([]byte, error) {
 }
 
 // handleReduceCompleted: [trackerID, reduceID, framedPairs, copyNs,
-// sortNs, reduceNs]. Idempotent — duplicate completions (retried RPCs,
-// speculative re-executions after a tracker was wrongly presumed lost) are
-// dropped. The trailing parameters carry the reduce task's measured
-// copy/sort/reduce phase wall times for the job report.
+// sortNs, reduceNs, spans?]. Idempotent — duplicate completions (retried
+// RPCs, speculative re-executions after a tracker was wrongly presumed
+// lost) are dropped. The Ns parameters carry the reduce task's measured
+// copy/sort/reduce phase wall times for the job report; the optional
+// seventh is the tracker's drained span batch.
 func (jt *jobTracker) handleReduceCompleted(params [][]byte) ([]byte, error) {
-	if len(params) != 6 {
+	if len(params) < 6 {
 		return nil, errors.New("reduceCompleted wants 6 parameters")
 	}
 	trackerID, _, err := kv.ReadVLong(params[0])
@@ -610,6 +754,9 @@ func (jt *jobTracker) handleReduceCompleted(params [][]byte) ([]byte, error) {
 	if int(reduceID) < 0 || int(reduceID) >= len(jt.outputs) {
 		return nil, fmt.Errorf("reduce id %d out of range", reduceID)
 	}
+	if len(params) > 6 {
+		jt.ingestSpansLocked(params[6])
+	}
 	if jt.trackers[trackerID].lost || jt.doneReduces[int(reduceID)] {
 		return nil, nil
 	}
@@ -617,6 +764,7 @@ func (jt *jobTracker) handleReduceCompleted(params [][]byte) ([]byte, error) {
 	if owner, running := jt.runningReduces[task]; running && owner == int(trackerID) {
 		delete(jt.runningReduces, task)
 	}
+	jt.endAttemptLocked(taskKindReduce, task, "ok")
 	jt.outputs[task] = pairs
 	jt.reduceTimings[task] = ReduceTiming{
 		Task:    task,
@@ -630,11 +778,11 @@ func (jt *jobTracker) handleReduceCompleted(params [][]byte) ([]byte, error) {
 	return nil, nil
 }
 
-// handleTaskFailed: [trackerID, kind, taskID, message]. The task is
-// re-queued and charged one attempt; past MaxTaskAttempts the job aborts
-// with the task's error.
+// handleTaskFailed: [trackerID, kind, taskID, message, spans?]. The task
+// is re-queued and charged one attempt; past MaxTaskAttempts the job
+// aborts with the task's error.
 func (jt *jobTracker) handleTaskFailed(params [][]byte) ([]byte, error) {
-	if len(params) != 4 {
+	if len(params) < 4 {
 		return nil, errors.New("taskFailed wants 4 parameters")
 	}
 	trackerID, _, err := kv.ReadVLong(params[0])
@@ -656,10 +804,14 @@ func (jt *jobTracker) handleTaskFailed(params [][]byte) ([]byte, error) {
 	if trackerID < 0 || int(trackerID) >= len(jt.trackers) {
 		return nil, fmt.Errorf("unknown tracker %d", trackerID)
 	}
+	if len(params) > 4 {
+		jt.ingestSpansLocked(params[4])
+	}
 	if jt.trackers[trackerID].lost {
 		return nil, nil // already re-queued by markLostLocked
 	}
 	task := int(taskID)
+	jt.endAttemptLocked(kind, task, "failed")
 	key := taskKey(kind, task)
 	jt.attempts[key]++
 	jt.met.Counter("hadoop.task_failures").Inc()

@@ -11,6 +11,7 @@ import (
 	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mapred"
 	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/trace"
 )
 
 // Regression tests for the reduce-copier scheduling fixes: the copy loop
@@ -119,7 +120,7 @@ func runReduceAgainst(t *testing.T, locs []mapOutputLoc, numSplits int) []byte {
 		t.Fatal(err)
 	}
 	defer tt.close()
-	out, _, err := tt.runReduceTask(0)
+	out, _, err := tt.runReduceTask(0, 0, trace.Context{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/ict-repro/mpid/internal/metrics"
 	"github.com/ict-repro/mpid/internal/stats"
+	"github.com/ict-repro/mpid/internal/trace"
 )
 
 // MapTiming is one map task's measured phase breakdown, reported by the
@@ -49,7 +50,21 @@ type JobReport struct {
 	Maps    []MapTiming    // sorted by task id; last accepted execution of each
 	Reduces []ReduceTiming // sorted by task id
 	Metrics metrics.Snapshot
+	// Spans is the job's aggregated trace, sorted by start time: the root
+	// job span, a scheduler-side span per task attempt (re-executions
+	// included, with attempt numbers and terminal status annotations), and
+	// the task/phase/fetch/serve spans shipped by the tasktrackers. Spans
+	// of attempts that died with their tracker appear with status "lost".
+	Spans []trace.Span
 }
+
+// ChromeTrace exports the job's spans as a chrome://tracing /
+// ui.perfetto.dev trace-event JSON file.
+func (r *JobReport) ChromeTrace() ([]byte, error) { return trace.ChromeTrace(r.Spans) }
+
+// Timeline renders the job's spans as a fixed-width ASCII Gantt chart, the
+// live analogue of the paper's Figure 1 (width <= 0 uses the default).
+func (r *JobReport) Timeline(width int) string { return trace.RenderTimeline(r.Spans, width) }
 
 // CopyShareOfReduce is the copy phase's share of total reducer time,
 // Σcopy / Σ(copy+sort+reduce) × 100 — the quantity the paper's Figure 1
@@ -149,5 +164,6 @@ func (jt *jobTracker) Report() *JobReport {
 	sort.Slice(rep.Maps, func(i, j int) bool { return rep.Maps[i].Task < rep.Maps[j].Task })
 	sort.Slice(rep.Reduces, func(i, j int) bool { return rep.Reduces[i].Task < rep.Reduces[j].Task })
 	rep.Metrics = jt.met.Snapshot()
+	rep.Spans = jt.tr.Spans()
 	return rep
 }

@@ -13,6 +13,7 @@ import (
 	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mapred"
 	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/trace"
 )
 
 // jobName labels map outputs in the shuffle store.
@@ -37,6 +38,8 @@ type taskTracker struct {
 	cfg    Config
 	inj    *faults.Injector
 	met    *metrics.Registry
+	tr     *trace.Tracer
+	jobCtx trace.Context // the job root span, from the register response
 
 	rpc       *hadooprpc.MuxClient
 	store     *jetty.Store
@@ -66,6 +69,7 @@ func newTaskTracker(idx int, jtAddr string, job mapred.Job, splits []mapred.Spli
 		cfg:       cfg,
 		inj:       cfg.Injector,
 		met:       cfg.Metrics,
+		tr:        trace.New(fmt.Sprintf("tracker%d", idx)),
 		store:     jetty.NewStore(),
 		fetch:     jetty.NewClient(),
 		mapSem:    make(chan struct{}, cfg.MapSlots),
@@ -83,6 +87,7 @@ func newTaskTracker(idx int, jtAddr string, job mapred.Job, splits []mapred.Spli
 	tt.jettySrv.Injector = cfg.Injector
 	tt.jettySrv.Component = tt.comp + ".jetty"
 	tt.jettySrv.Metrics = cfg.Metrics
+	tt.jettySrv.Tracer = tt.tr
 	addr, err := tt.jettySrv.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -99,12 +104,22 @@ func newTaskTracker(idx int, jtAddr string, job mapred.Job, splits []mapred.Spli
 		tt.close()
 		return nil, err
 	}
-	id, _, err := kv.ReadVLong(idBytes)
+	id, n, err := kv.ReadVLong(idBytes)
 	if err != nil {
 		tt.close()
 		return nil, err
 	}
 	tt.id = int(id)
+	// The response may carry the job's trace context after the id; a
+	// jobtracker without tracing simply doesn't send it, and this tracker's
+	// spans then start their own traces.
+	if rest := idBytes[n:]; len(rest) > 0 {
+		if b, _, err := kv.ReadBytes(rest); err == nil {
+			if ctx, err := trace.DecodeContext(b); err == nil {
+				tt.jobCtx = ctx
+			}
+		}
+	}
 	return tt, nil
 }
 
@@ -133,11 +148,16 @@ func (tt *taskTracker) reportTaskFailed(kind string, task int, taskErr error) {
 		tt.redsFailed++
 	}
 	tt.mu.Unlock()
-	if _, err := tt.rpc.Call("taskFailed",
+	params := [][]byte{
 		kv.AppendVLong(nil, int64(tt.id)),
 		[]byte(kind),
 		kv.AppendVLong(nil, int64(task)),
-		[]byte(taskErr.Error())); err != nil {
+		[]byte(taskErr.Error()),
+	}
+	if blob := trace.EncodeSpans(tt.tr.Drain()); blob != nil {
+		params = append(params, blob)
+	}
+	if _, err := tt.rpc.Call("taskFailed", params...); err != nil {
 		tt.noteErr(fmt.Errorf("hadoop: reporting %s task %d failure: %w", kind, task, err))
 	}
 }
@@ -168,11 +188,18 @@ func (tt *taskTracker) run() error {
 			time.Sleep(tt.cfg.Heartbeat) // transient: skip this beat
 			continue
 		}
-		resp, err := tt.rpc.Call("heartbeat",
+		params := [][]byte{
 			kv.AppendVLong(nil, int64(tt.id)),
 			kv.AppendVLong(nil, seq),
 			kv.AppendVLong(nil, int64(free(tt.mapSem))),
-			kv.AppendVLong(nil, int64(free(tt.reduceSem))))
+			kv.AppendVLong(nil, int64(free(tt.reduceSem))),
+		}
+		// Ship spans drained since the last report; serve-side shuffle
+		// spans have no completion RPC of their own and ride here.
+		if blob := trace.EncodeSpans(tt.tr.Drain()); blob != nil {
+			params = append(params, blob)
+		}
+		resp, err := tt.rpc.Call("heartbeat", params...)
 		if err != nil {
 			// Orderly shutdown: drain running tasks, then report with
 			// partial progress.
@@ -220,10 +247,22 @@ func (tt *taskTracker) dispatch(resp []byte) (bool, error) {
 				return false, fmt.Errorf("hadoop: corrupt task id: %w", err)
 			}
 			resp = resp[n:]
+			att64, n, err := kv.ReadVLong(resp)
+			if err != nil {
+				return false, fmt.Errorf("hadoop: corrupt attempt number: %w", err)
+			}
+			resp = resp[n:]
+			span64, n, err := kv.ReadVLong(resp)
+			if err != nil {
+				return false, fmt.Errorf("hadoop: corrupt attempt span id: %w", err)
+			}
+			resp = resp[n:]
+			// Parent the task span under the scheduler's attempt span.
+			pctx := trace.Context{Trace: tt.jobCtx.Trace, Span: uint64(span64)}
 			if act == actLaunchMap {
-				tt.launchMap(int(id64))
+				tt.launchMap(int(id64), int(att64), pctx)
 			} else {
-				tt.launchReduce(int(id64))
+				tt.launchReduce(int(id64), int(att64), pctx)
 			}
 		default:
 			return false, fmt.Errorf("hadoop: unknown action %d", act)
@@ -232,22 +271,29 @@ func (tt *taskTracker) dispatch(resp []byte) (bool, error) {
 	return false, nil
 }
 
-func (tt *taskTracker) launchMap(task int) {
+func (tt *taskTracker) launchMap(task, attempt int, pctx trace.Context) {
 	tt.mapSem <- struct{}{}
 	tt.tasks.Add(1)
 	go func() {
 		defer tt.tasks.Done()
 		defer func() { <-tt.mapSem }()
-		ph, err := tt.runMapTask(task)
+		ph, err := tt.runMapTask(task, attempt, pctx)
 		if err != nil {
 			tt.reportTaskFailed(taskKindMap, task, fmt.Errorf("map task %d: %w", task, err))
 			return
 		}
-		if _, err := tt.rpc.Call("mapCompleted",
+		// The task's spans are finished before the completion RPC, so the
+		// shipped batch always covers the attempt that just completed.
+		params := [][]byte{
 			kv.AppendVLong(nil, int64(tt.id)),
 			kv.AppendVLong(nil, int64(task)),
 			kv.AppendVLong(nil, int64(ph.run)),
-			kv.AppendVLong(nil, int64(ph.spill))); err != nil {
+			kv.AppendVLong(nil, int64(ph.spill)),
+		}
+		if blob := trace.EncodeSpans(tt.tr.Drain()); blob != nil {
+			params = append(params, blob)
+		}
+		if _, err := tt.rpc.Call("mapCompleted", params...); err != nil {
 			tt.noteErr(err)
 			return
 		}
@@ -257,23 +303,28 @@ func (tt *taskTracker) launchMap(task int) {
 	}()
 }
 
-func (tt *taskTracker) launchReduce(task int) {
+func (tt *taskTracker) launchReduce(task, attempt int, pctx trace.Context) {
 	tt.reduceSem <- struct{}{}
 	tt.tasks.Add(1)
 	go func() {
 		defer tt.tasks.Done()
 		defer func() { <-tt.reduceSem }()
-		out, ph, err := tt.runReduceTask(task)
+		out, ph, err := tt.runReduceTask(task, attempt, pctx)
 		if err != nil {
 			tt.reportTaskFailed(taskKindReduce, task, fmt.Errorf("reduce task %d: %w", task, err))
 			return
 		}
-		if _, err := tt.rpc.Call("reduceCompleted",
+		params := [][]byte{
 			kv.AppendVLong(nil, int64(tt.id)),
 			kv.AppendVLong(nil, int64(task)), out,
 			kv.AppendVLong(nil, int64(ph.copy)),
 			kv.AppendVLong(nil, int64(ph.sort)),
-			kv.AppendVLong(nil, int64(ph.reduce))); err != nil {
+			kv.AppendVLong(nil, int64(ph.reduce)),
+		}
+		if blob := trace.EncodeSpans(tt.tr.Drain()); blob != nil {
+			params = append(params, blob)
+		}
+		if _, err := tt.rpc.Call("reduceCompleted", params...); err != nil {
 			tt.noteErr(err)
 			return
 		}
@@ -293,8 +344,11 @@ type mapPhases struct {
 
 // runMapTask maps one split, partitions the output, optionally combines,
 // and publishes per-reduce partitions into the local shuffle store.
-func (tt *taskTracker) runMapTask(task int) (mapPhases, error) {
+func (tt *taskTracker) runMapTask(task, attempt int, pctx trace.Context) (mapPhases, error) {
 	var ph mapPhases
+	span := tt.tr.StartChild(pctx, fmt.Sprintf("m%d", task), trace.KindTask)
+	span.Annotate("attempt", fmt.Sprint(attempt))
+	defer span.End()
 	nParts := tt.job.NumReducers
 	partitioner := tt.job.Partitioner
 	if partitioner == nil {
@@ -318,16 +372,22 @@ func (tt *taskTracker) runMapTask(task int) (mapPhases, error) {
 		groups[p][k] = append(groups[p][k], append([]byte(nil), value...))
 		return nil
 	}
+	runSpan := span.Child("map.run", trace.KindPhase)
+	defer runSpan.End()
 	runStart := time.Now()
 	if err := tt.splits[task].Records(func(k, v []byte) error {
 		return tt.job.Mapper.Map(k, v, emit)
 	}); err != nil {
+		span.Annotate("error", err.Error())
 		return ph, err
 	}
 	ph.run = time.Since(runStart)
+	runSpan.End()
 	tt.met.Timer("task.map.run").ObserveDuration(ph.run)
 
 	// Spill: combine and serialize each partition, publish to the store.
+	spillSpan := span.Child("map.spill", trace.KindPhase)
+	defer spillSpan.End()
 	spillStart := time.Now()
 	for p := 0; p < nParts; p++ {
 		var buf []byte
@@ -341,6 +401,7 @@ func (tt *taskTracker) runMapTask(task int) (mapPhases, error) {
 		tt.store.Put(jetty.OutputKey{Job: jobName, Map: task, Reduce: p}, buf)
 	}
 	ph.spill = time.Since(spillStart)
+	spillSpan.End()
 	tt.met.Timer("task.map.spill").ObserveDuration(ph.spill)
 	return ph, nil
 }
@@ -380,13 +441,20 @@ type reducePhases struct {
 //   - when a poll makes no progress — no new locations, or every fetch
 //     failed — the reducer backs off for a heartbeat instead of hot-polling
 //     the jobtracker in a tight RPC loop while maps are still running.
-func (tt *taskTracker) runReduceTask(task int) ([]byte, reducePhases, error) {
+func (tt *taskTracker) runReduceTask(task, attempt int, pctx trace.Context) ([]byte, reducePhases, error) {
 	var ph reducePhases
+	span := tt.tr.StartChild(pctx, fmt.Sprintf("r%d", task), trace.KindTask)
+	span.Annotate("attempt", fmt.Sprint(attempt))
+	defer span.End()
 	fetched := make(map[int]bool, len(tt.splits))
 	merged := make(map[string][][]byte)
 	var mergedMu sync.Mutex // guards merged and fetched together
 	copierSem := make(chan struct{}, tt.cfg.CopierThreads)
 
+	// Span.End is idempotent, so each phase span is deferred for the error
+	// paths and ended explicitly at its boundary on the happy path.
+	copySpan := span.Child("reduce.copy", trace.KindPhase)
+	defer copySpan.End()
 	copyStart := time.Now()
 	for len(fetched) < len(tt.splits) {
 		if tt.isAborting() {
@@ -439,7 +507,7 @@ func (tt *taskTracker) runReduceTask(task int) ([]byte, reducePhases, error) {
 			go func() {
 				defer wg.Done()
 				defer func() { <-copierSem }()
-				lists, err := tt.fetchAndParse(j, task)
+				lists, err := tt.fetchAndParse(j, task, copySpan.Context())
 				if err != nil {
 					okMu.Lock()
 					failed = append(failed, j)
@@ -473,9 +541,11 @@ func (tt *taskTracker) runReduceTask(task int) ([]byte, reducePhases, error) {
 		}
 	}
 	ph.copy = time.Since(copyStart)
+	copySpan.End()
 	tt.met.Timer("task.reduce.copy").ObserveDuration(ph.copy)
 
 	// Sort keys (the merge-sort phase) and reduce.
+	sortSpan := span.Child("reduce.sort", trace.KindPhase)
 	sortStart := time.Now()
 	keys := make([]string, 0, len(merged))
 	for k := range merged {
@@ -483,8 +553,11 @@ func (tt *taskTracker) runReduceTask(task int) ([]byte, reducePhases, error) {
 	}
 	sort.Strings(keys)
 	ph.sort = time.Since(sortStart)
+	sortSpan.End()
 	tt.met.Timer("task.reduce.sort").ObserveDuration(ph.sort)
 
+	reduceSpan := span.Child("reduce.reduce", trace.KindPhase)
+	defer reduceSpan.End()
 	reduceStart := time.Now()
 	var out []byte
 	emit := func(key, value []byte) error {
@@ -497,22 +570,31 @@ func (tt *taskTracker) runReduceTask(task int) ([]byte, reducePhases, error) {
 		}
 	}
 	ph.reduce = time.Since(reduceStart)
+	reduceSpan.End()
 	tt.met.Timer("task.reduce.reduce").ObserveDuration(ph.reduce)
 	return out, ph, nil
 }
 
 // fetchAndParse retrieves one map output partition and decodes it fully,
-// returning the key lists only if the whole body is well-formed.
-func (tt *taskTracker) fetchAndParse(j mapOutputLoc, reduce int) ([]kv.KeyList, error) {
-	data, err := tt.fetch.FetchMapOutput(j.addr,
+// returning the key lists only if the whole body is well-formed. The fetch
+// span parents under the reduce task's copy phase, and its context rides
+// the HTTP request so the serving tracker's span parents under it in turn.
+func (tt *taskTracker) fetchAndParse(j mapOutputLoc, reduce int, pctx trace.Context) ([]kv.KeyList, error) {
+	fs := tt.tr.StartChild(pctx, fmt.Sprintf("fetch m%d", j.mapID), trace.KindFetch)
+	defer fs.End()
+	fs.Annotate("from", fmt.Sprintf("tracker%d", j.trackerID))
+	data, err := tt.fetch.FetchMapOutputTraced(fs.Context(), j.addr,
 		jetty.OutputKey{Job: jobName, Map: j.mapID, Reduce: reduce})
 	if err != nil {
+		fs.Annotate("error", err.Error())
 		return nil, err
 	}
+	fs.Annotate("bytes", fmt.Sprint(len(data)))
 	var lists []kv.KeyList
 	for len(data) > 0 {
 		klist, n, err := kv.ReadKeyList(data)
 		if err != nil {
+			fs.Annotate("error", "corrupt output")
 			return nil, fmt.Errorf("corrupt map %d output: %w", j.mapID, err)
 		}
 		lists = append(lists, klist)

@@ -95,7 +95,7 @@ func (c *Client) connectLocked() error {
 	// VersionedProtocol handshake.
 	var ver [8]byte
 	binary.BigEndian.PutUint64(ver[:], uint64(c.version))
-	got, err := c.callLocked(getProtocolVersionMethod, [][]byte{ver[:]})
+	got, err := c.callLocked(getProtocolVersionMethod, [][]byte{ver[:]}, nil)
 	if err != nil {
 		c.dropLocked()
 		return fmt.Errorf("hadooprpc: handshake: %w", err)
@@ -121,6 +121,14 @@ func (c *Client) dropLocked() {
 // a transport failure reconnects and replays the call after a backoff, up
 // to Options.MaxAttempts total attempts.
 func (c *Client) Call(method string, params ...[]byte) ([]byte, error) {
+	return c.CallTraced(nil, method, params...)
+}
+
+// CallTraced is Call with a propagated trace context: tctx (an encoded
+// trace.Context) rides the call frame as a trailing type-tagged parameter.
+// Handlers that do not understand tracing never see it; servers that do
+// can parent their spans under the caller's. A nil tctx is a plain Call.
+func (c *Client) CallTraced(tctx []byte, method string, params ...[]byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m := c.opts.Metrics
@@ -133,7 +141,7 @@ func (c *Client) Call(method string, params ...[]byte) ([]byte, error) {
 		if c.closed {
 			return nil, errors.New("hadooprpc: client closed")
 		}
-		value, err := c.attemptLocked(method, params)
+		value, err := c.attemptLocked(method, params, tctx)
 		if err == nil || !retryable(err) {
 			if err != nil {
 				m.Counter("rpc.errors").Inc()
@@ -154,7 +162,7 @@ func (c *Client) Call(method string, params ...[]byte) ([]byte, error) {
 
 // attemptLocked is one try: ensure a connection, run the injection point,
 // send and await the response. Transport failures poison the connection.
-func (c *Client) attemptLocked(method string, params [][]byte) ([]byte, error) {
+func (c *Client) attemptLocked(method string, params [][]byte, tctx []byte) ([]byte, error) {
 	if c.conn == nil {
 		if err := c.connectLocked(); err != nil {
 			return nil, err
@@ -166,7 +174,7 @@ func (c *Client) attemptLocked(method string, params [][]byte) ([]byte, error) {
 		}
 		return nil, err
 	}
-	value, err := c.callLocked(method, params)
+	value, err := c.callLocked(method, params, tctx)
 	if err != nil && !errors.Is(err, errRemote) {
 		c.dropLocked()
 	}
@@ -175,10 +183,10 @@ func (c *Client) attemptLocked(method string, params [][]byte) ([]byte, error) {
 
 // callLocked performs one framed call/response exchange on the live
 // connection, bounded by the call timeout.
-func (c *Client) callLocked(method string, params [][]byte) ([]byte, error) {
+func (c *Client) callLocked(method string, params [][]byte, tctx []byte) ([]byte, error) {
 	id := c.nextID
 	c.nextID++
-	frame, err := encodeCall(id, c.protocol, method, params)
+	frame, err := encodeCall(id, c.protocol, method, params, tctx)
 	if err != nil {
 		return nil, err
 	}

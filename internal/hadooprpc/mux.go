@@ -137,7 +137,7 @@ func (c *MuxClient) dialLocked() (*muxConn, error) {
 
 	var ver [8]byte
 	binary.BigEndian.PutUint64(ver[:], uint64(c.version))
-	got, err := c.callOn(mc, getProtocolVersionMethod, [][]byte{ver[:]})
+	got, err := c.callOn(mc, getProtocolVersionMethod, [][]byte{ver[:]}, nil)
 	if err != nil {
 		mc.kill(errConnAbandoned)
 		return nil, fmt.Errorf("hadooprpc: handshake: %w", err)
@@ -201,7 +201,7 @@ func isRemoteError(err error) bool {
 // bounded by the call timeout. A timeout abandons the generation: once the
 // response stream is out of sync with the caller's patience, the safe move
 // is Hadoop's — reconnect.
-func (c *MuxClient) callOn(mc *muxConn, method string, params [][]byte) ([]byte, error) {
+func (c *MuxClient) callOn(mc *muxConn, method string, params [][]byte, tctx []byte) ([]byte, error) {
 	ch := make(chan muxResult, 1)
 
 	mc.mu.Lock()
@@ -213,7 +213,7 @@ func (c *MuxClient) callOn(mc *muxConn, method string, params [][]byte) ([]byte,
 	id := mc.nextID
 	mc.nextID++
 	mc.pending[id] = ch
-	frame, err := encodeCall(id, c.protocol, method, params)
+	frame, err := encodeCall(id, c.protocol, method, params, tctx)
 	if err == nil {
 		_, err = mc.w.Write(frame)
 		if err == nil {
@@ -259,13 +259,20 @@ func (c *MuxClient) invalidate(mc *muxConn) {
 // many goroutines at once. Transport failures are retried on a fresh
 // connection up to Options.MaxAttempts total attempts.
 func (c *MuxClient) Call(method string, params ...[]byte) ([]byte, error) {
+	return c.CallTraced(nil, method, params...)
+}
+
+// CallTraced is Call with a propagated trace context: tctx (an encoded
+// trace.Context) rides the call frame as a trailing type-tagged parameter
+// that untraced handlers never see. A nil tctx is a plain Call.
+func (c *MuxClient) CallTraced(tctx []byte, method string, params ...[]byte) ([]byte, error) {
 	m := c.opts.Metrics
 	m.Counter("rpc.calls").Inc()
 	m.Counter("rpc.calls." + method).Inc()
 	start := time.Now()
 	defer func() { m.Timer("rpc.latency").ObserveDuration(time.Since(start)) }()
 	for attempt := 1; ; attempt++ {
-		value, err := c.attempt(method, params)
+		value, err := c.attempt(method, params, tctx)
 		if err == nil || !retryable(err) {
 			if err != nil {
 				m.Counter("rpc.errors").Inc()
@@ -285,7 +292,7 @@ func (c *MuxClient) Call(method string, params ...[]byte) ([]byte, error) {
 }
 
 // attempt is one try of a Call: injection point, connection, exchange.
-func (c *MuxClient) attempt(method string, params [][]byte) ([]byte, error) {
+func (c *MuxClient) attempt(method string, params [][]byte, tctx []byte) ([]byte, error) {
 	if err := c.opts.Injector.Check(c.opts.Component, "call", method); err != nil {
 		if errors.Is(err, faults.ErrDropped) {
 			c.mu.Lock()
@@ -301,7 +308,7 @@ func (c *MuxClient) attempt(method string, params [][]byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	value, err := c.callOn(mc, method, params)
+	value, err := c.callOn(mc, method, params, tctx)
 	if err != nil && !isRemoteError(err) {
 		c.invalidate(mc)
 	}

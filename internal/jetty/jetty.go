@@ -23,6 +23,7 @@ import (
 
 	"github.com/ict-repro/mpid/internal/faults"
 	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/trace"
 )
 
 // ErrGone marks a fetch the server answered 410 Gone for: the map output no
@@ -64,6 +65,11 @@ const (
 	HeaderMapOutputLength = "X-Map-Output-Length"
 	// HeaderForReduce echoes the reduce id the output was partitioned for.
 	HeaderForReduce = "X-For-Reduce"
+	// HeaderTraceContext carries the fetcher's trace context ("trace-span"
+	// in hex) so the serving side can parent its serve span under the
+	// reducer's fetch span. Absent on untraced fetches; ignored by servers
+	// without a Tracer.
+	HeaderTraceContext = "X-Trace-Context"
 )
 
 // OutputKey addresses one map output partition.
@@ -131,6 +137,10 @@ type Server struct {
 	// Metrics, when set, counts served map outputs ("shuffle.serves") and
 	// body bytes written ("shuffle.serve_bytes"). Set before Listen.
 	Metrics *metrics.Registry
+	// Tracer, when set, records a serve span per map-output request,
+	// parented under the fetcher's span when the request carries
+	// HeaderTraceContext. Set before Listen.
+	Tracer *trace.Tracer
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -197,15 +207,23 @@ func (s *Server) handleMapOutput(w http.ResponseWriter, r *http.Request) {
 	if comp == "" {
 		comp = "jetty.server"
 	}
+	// Parent the serve span under the fetcher's span when the request
+	// carries a trace context; a malformed header degrades to a fresh root.
+	pctx, _ := trace.ParseContext(r.Header.Get(HeaderTraceContext))
+	span := s.Tracer.StartChild(pctx, fmt.Sprintf("serve m%d->r%d", mapID, reduceID), trace.KindServe)
+	defer span.End()
 	if err := s.Injector.Check(comp, "serve", job); err != nil {
+		span.Annotate("error", err.Error())
 		http.Error(w, "jetty: injected fault: "+err.Error(), http.StatusServiceUnavailable)
 		return
 	}
 	data, ok := s.store.Get(OutputKey{Job: job, Map: mapID, Reduce: reduceID})
 	if !ok {
+		span.Annotate("error", "gone")
 		http.Error(w, "jetty: no such map output", http.StatusGone)
 		return
 	}
+	span.Annotate("bytes", strconv.Itoa(len(data)))
 	w.Header().Set(HeaderMapOutputLength, strconv.Itoa(len(data)))
 	w.Header().Set(HeaderForReduce, strconv.Itoa(reduceID))
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
@@ -320,6 +338,14 @@ func (c *Client) SetSeed(seed int64) { c.jit = faults.NewJitter(seed) }
 // FetchMapOutput retrieves one map output from a server, retrying transient
 // failures per the client's retry configuration.
 func (c *Client) FetchMapOutput(addr string, key OutputKey) ([]byte, error) {
+	return c.FetchMapOutputTraced(trace.Context{}, addr, key)
+}
+
+// FetchMapOutputTraced is FetchMapOutput with trace propagation: a valid
+// tctx rides the request as HeaderTraceContext so the serving tasktracker
+// can parent its serve span under the reducer's fetch span. An invalid
+// (zero) context sends no header.
+func (c *Client) FetchMapOutputTraced(tctx trace.Context, addr string, key OutputKey) ([]byte, error) {
 	url := fmt.Sprintf("http://%s/mapOutput?job=%s&map=%d&reduce=%d",
 		addr, key.Job, key.Map, key.Reduce)
 	attempts := c.MaxAttempts
@@ -330,7 +356,7 @@ func (c *Client) FetchMapOutput(addr string, key OutputKey) ([]byte, error) {
 	start := time.Now()
 	defer func() { c.Metrics.Timer("shuffle.fetch_latency").ObserveDuration(time.Since(start)) }()
 	for attempt := 1; ; attempt++ {
-		data, err := c.fetchOnce(url, addr)
+		data, err := c.fetchOnce(url, addr, tctx)
 		if err == nil || !fetchRetryable(err) {
 			if err != nil {
 				c.Metrics.Counter("shuffle.fetch_errors").Inc()
@@ -349,7 +375,7 @@ func (c *Client) FetchMapOutput(addr string, key OutputKey) ([]byte, error) {
 }
 
 // fetchOnce is one fetch attempt: injection point, then the HTTP exchange.
-func (c *Client) fetchOnce(url, peer string) ([]byte, error) {
+func (c *Client) fetchOnce(url, peer string, tctx trace.Context) ([]byte, error) {
 	comp := c.Component
 	if comp == "" {
 		comp = "jetty.client"
@@ -357,7 +383,7 @@ func (c *Client) fetchOnce(url, peer string) ([]byte, error) {
 	if err := c.Injector.Check(comp, "fetch", peer); err != nil {
 		return nil, err
 	}
-	return c.fetch(url)
+	return c.fetch(url, tctx)
 }
 
 // FetchStream retrieves size bytes from the bandwidth endpoint with the
@@ -394,8 +420,15 @@ func (c *Client) readChunk() int {
 	return c.ReadChunk
 }
 
-func (c *Client) fetch(url string) ([]byte, error) {
-	resp, err := c.http.Get(url)
+func (c *Client) fetch(url string, tctx trace.Context) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if tctx.Valid() {
+		req.Header.Set(HeaderTraceContext, tctx.String())
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
 	}

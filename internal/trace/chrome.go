@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Chrome trace-event export: the JSON Object Format consumed by
+// chrome://tracing and https://ui.perfetto.dev. Every span becomes one
+// complete ("X") event; every process lane becomes a pid with a
+// process_name metadata event, and overlapping spans within a lane are
+// spread across tids so the viewer stacks them instead of overdrawing.
+
+// chromeEvent is one trace-event record.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`            // microseconds
+	Dur  float64           `json:"dur,omitempty"` // microseconds, X events
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeFile is the object-format wrapper.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders finished spans as a chrome://tracing JSON file.
+// Timestamps are microseconds relative to the earliest span start, so the
+// viewer opens at t=0 regardless of wall-clock time.
+func ChromeTrace(spans []Span) ([]byte, error) {
+	byProc := make(map[string][]Span)
+	var procs []string
+	for _, s := range spans {
+		if _, seen := byProc[s.Proc]; !seen {
+			procs = append(procs, s.Proc)
+		}
+		byProc[s.Proc] = append(byProc[s.Proc], s)
+	}
+	sort.Strings(procs)
+	t0 := earliest(spans)
+
+	var events []chromeEvent
+	for pid, proc := range procs {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]string{"name": displayProc(proc)},
+		})
+		lanes := assignLanes(byProc[proc])
+		for i, s := range byProc[proc] {
+			args := map[string]string{
+				"trace": strconv.FormatUint(s.Trace, 16),
+				"span":  strconv.FormatUint(s.ID, 16),
+			}
+			if s.Parent != 0 {
+				args["parent"] = strconv.FormatUint(s.Parent, 16)
+			}
+			for _, a := range s.Notes {
+				args[a.Key] = a.Value
+			}
+			events = append(events, chromeEvent{
+				Name: s.Name,
+				Cat:  s.Kind,
+				Ph:   "X",
+				Ts:   micros(s.Start.Sub(t0)),
+				Dur:  micros(s.Duration()),
+				Pid:  pid,
+				Tid:  lanes[i],
+				Args: args,
+			})
+		}
+	}
+	// Metadata first, then events in time order — the shape the validator
+	// (and a human diffing two files) expects.
+	sort.SliceStable(events, func(i, j int) bool {
+		mi, mj := events[i].Ph == "M", events[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		if mi {
+			return false
+		}
+		return events[i].Ts < events[j].Ts
+	})
+	return json.MarshalIndent(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+}
+
+// displayProc labels empty lanes (spans decoded from an untraced source).
+func displayProc(proc string) string {
+	if proc == "" {
+		return "(unknown)"
+	}
+	return proc
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func earliest(spans []Span) time.Time {
+	var t0 time.Time
+	for _, s := range spans {
+		if t0.IsZero() || s.Start.Before(t0) {
+			t0 = s.Start
+		}
+	}
+	return t0
+}
+
+// assignLanes greedily packs a lane's spans onto tids so that no two
+// overlapping spans share a tid — interval-graph coloring in start order,
+// which is what makes the Chrome view a readable Gantt chart.
+func assignLanes(spans []Span) []int {
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return spans[order[a]].Start.Before(spans[order[b]].Start)
+	})
+	lanes := make([]int, len(spans))
+	var laneEnds []time.Time // per tid, when its last span finishes
+	for _, i := range order {
+		s := spans[i]
+		placed := false
+		for tid, end := range laneEnds {
+			if !s.Start.Before(end) {
+				lanes[i] = tid
+				laneEnds[tid] = s.Finish
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			lanes[i] = len(laneEnds)
+			laneEnds = append(laneEnds, s.Finish)
+		}
+	}
+	return lanes
+}
+
+// ChromeStats summarizes a validated trace file.
+type ChromeStats struct {
+	Events   int           // all events, metadata included
+	Spans    int           // X (or matched B/E) events
+	Procs    int           // distinct pids
+	Duration time.Duration // last event end minus first event start
+}
+
+// ValidateChrome structurally checks a Chrome trace-event JSON file: it
+// must unmarshal (object or bare-array form), timestamps must be
+// non-negative and monotonically non-decreasing in file order, durations
+// non-negative, and every B event must have a matching E on the same
+// (pid, tid). Returns summary stats for reporting.
+func ValidateChrome(data []byte) (ChromeStats, error) {
+	var st ChromeStats
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		var bare []chromeEvent
+		if err2 := json.Unmarshal(data, &bare); err2 != nil {
+			return st, fmt.Errorf("trace: not a trace-event file: %w", err)
+		}
+		f.TraceEvents = bare
+	}
+	if len(f.TraceEvents) == 0 {
+		return st, fmt.Errorf("trace: no events")
+	}
+	open := make(map[[2]int]int) // (pid,tid) -> open B depth
+	pids := make(map[int]bool)
+	lastTs := -1.0
+	var start, end float64
+	started := false
+	for i, e := range f.TraceEvents {
+		st.Events++
+		pids[e.Pid] = true
+		switch e.Ph {
+		case "M":
+			continue
+		case "X":
+			st.Spans++
+			if e.Dur < 0 {
+				return st, fmt.Errorf("trace: event %d (%q) has negative dur %v", i, e.Name, e.Dur)
+			}
+		case "B":
+			open[[2]int{e.Pid, e.Tid}]++
+		case "E":
+			k := [2]int{e.Pid, e.Tid}
+			if open[k] == 0 {
+				return st, fmt.Errorf("trace: event %d: E without B on pid %d tid %d", i, e.Pid, e.Tid)
+			}
+			open[k]--
+			if open[k] == 0 {
+				st.Spans++
+			}
+		default:
+			return st, fmt.Errorf("trace: event %d (%q) has unsupported phase %q", i, e.Name, e.Ph)
+		}
+		if e.Ts < 0 {
+			return st, fmt.Errorf("trace: event %d (%q) has negative ts %v", i, e.Name, e.Ts)
+		}
+		if e.Ts < lastTs {
+			return st, fmt.Errorf("trace: event %d (%q) ts %v before predecessor %v — not monotonic",
+				i, e.Name, e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+		if !started || e.Ts < start {
+			start, started = e.Ts, true
+		}
+		if e.Ts+e.Dur > end {
+			end = e.Ts + e.Dur
+		}
+	}
+	for k, depth := range open {
+		if depth != 0 {
+			return st, fmt.Errorf("trace: %d unmatched B events on pid %d tid %d", depth, k[0], k[1])
+		}
+	}
+	st.Procs = len(pids)
+	st.Duration = time.Duration((end - start) * 1e3)
+	return st, nil
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/ict-repro/mpid/internal/stats"
+)
+
+// RenderTimeline draws finished spans as a fixed-width ASCII Gantt chart —
+// the live analogue of the paper's Figure 1, one bar per span, grouped by
+// process lane and ordered by start time. width is the bar column's
+// character budget (default 60). Instant spans (faults) render as a '!'.
+//
+//	span            proc        timeline                        dur
+//	job             jobtracker  ############################    41ms
+//	m0 a1           tracker0    ##                              2.1ms
+//	r1.copy         tracker1        ########                    8.9ms
+func RenderTimeline(spans []Span, width int) string {
+	if len(spans) == 0 {
+		return "(no spans)\n"
+	}
+	if width <= 0 {
+		width = 60
+	}
+	t0 := earliest(spans)
+	var t1 = t0
+	for _, s := range spans {
+		if s.Finish.After(t1) {
+			t1 = s.Finish
+		}
+	}
+	total := t1.Sub(t0)
+	if total <= 0 {
+		total = 1
+	}
+	scale := func(off, span int64) (int, int) {
+		lo := int(float64(off) / float64(total) * float64(width))
+		n := int(float64(span) / float64(total) * float64(width))
+		if lo >= width {
+			lo = width - 1
+		}
+		if n < 1 {
+			n = 1
+		}
+		if lo+n > width {
+			n = width - lo
+		}
+		return lo, n
+	}
+
+	ordered := append([]Span(nil), spans...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Proc != ordered[j].Proc {
+			return ordered[i].Proc < ordered[j].Proc
+		}
+		return ordered[i].Start.Before(ordered[j].Start)
+	})
+
+	tb := stats.NewTable("span", "proc", "timeline", "dur")
+	for _, s := range ordered {
+		lo, n := scale(int64(s.Start.Sub(t0)), int64(s.Duration()))
+		mark := byte('#')
+		if s.Kind == KindFault || s.Duration() == 0 {
+			mark = '!'
+		}
+		bar := strings.Repeat(".", lo) + strings.Repeat(string(mark), n) +
+			strings.Repeat(".", width-lo-n)
+		name := s.Name
+		if att := s.Note("attempt"); att != "" {
+			name += " a" + att
+		}
+		tb.AddRow(name, displayProc(s.Proc), bar, stats.FormatDuration(s.Duration()))
+	}
+	return fmt.Sprintf("trace timeline: %d spans over %s (one column ~ %s)\n",
+		len(spans), stats.FormatDuration(total), stats.FormatDuration(total/time.Duration(width))) + tb.String()
+}
