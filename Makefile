@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build vet test race chaos bench bench-smoke trace-demo report examples clean
+.PHONY: all check build vet test race chaos bench bench-smoke docs-lint trace-demo report examples clean
 
 all: build vet test
 
@@ -26,13 +26,25 @@ test:
 race:
 	go test -race ./...
 
+# Full benchmark run: every Go benchmark, then the shuffle-engine A/B
+# harness writing its JSON baseline (the file EXPERIMENTS.md quotes).
 bench:
 	go test -bench=. -benchmem ./...
+	go run ./cmd/mpid-bench -o BENCH_shuffle.json
 
 # One iteration of every benchmark — a CI smoke test that the bench code
-# still compiles and runs, without the timing noise of a real bench run.
+# still compiles and runs, without the timing noise of a real bench run —
+# plus a seconds-scale shuffle A/B producing the BENCH_shuffle.json CI
+# artifact.
 bench-smoke:
 	go test -bench=. -benchtime=1x ./...
+	go run ./cmd/mpid-bench -smoke -o BENCH_shuffle.json
+
+# Documentation lint: every internal package must carry a package doc
+# comment, and every local markdown link in the top-level docs must
+# resolve. Backed by docs_test.go so `go test ./...` enforces it too.
+docs-lint:
+	go test -run 'TestPackageDocs|TestCommandDocs|TestMarkdownLinks' .
 
 # End-to-end tracing demo: run a WordCount over this Makefile's README on
 # the live hadoop engine with span collection on, print the ASCII

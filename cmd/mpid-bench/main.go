@@ -1,0 +1,86 @@
+// Command mpid-bench runs the reduce-side shuffle A/B benchmark — the
+// legacy buffer-then-sort engine against the pipelined run/merge engine
+// (internal/shuffle) — and writes the result as BENCH_shuffle.json, the
+// committed baseline referenced by EXPERIMENTS.md.
+//
+//	mpid-bench -o BENCH_shuffle.json        full baseline configuration
+//	mpid-bench -smoke -o /tmp/bench.json    seconds-scale CI smoke run
+//
+// Flags override individual workload knobs (-maps, -reducers, -keys,
+// -vocab, -copiers, -factor, -reps, -seed). The tool validates that both
+// engines produce byte-identical output before timing anything, prints
+// the A/B table to stdout, and exits non-zero if the run fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ict-repro/mpid/internal/experiments"
+)
+
+func main() {
+	out := flag.String("o", "", "write the result JSON to this file (e.g. BENCH_shuffle.json)")
+	smoke := flag.Bool("smoke", false, "use the seconds-scale smoke configuration")
+	maps := flag.Int("maps", 0, "override: map segments per reducer")
+	reducers := flag.Int("reducers", 0, "override: concurrent reducers")
+	keys := flag.Int("keys", 0, "override: distinct keys per segment")
+	vocab := flag.Int("vocab", 0, "override: distinct-key universe per reducer")
+	copiers := flag.Int("copiers", 0, "override: parallel feeders per reducer")
+	factor := flag.Int("factor", 0, "override: merge fan-in (io.sort.factor)")
+	reps := flag.Int("reps", 0, "override: repetitions per engine (best kept)")
+	seed := flag.Int64("seed", 0, "override: workload seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultShuffleBench()
+	if *smoke {
+		cfg = experiments.SmokeShuffleBench()
+	}
+	if *maps > 0 {
+		cfg.Maps = *maps
+	}
+	if *reducers > 0 {
+		cfg.Reducers = *reducers
+	}
+	if *keys > 0 {
+		cfg.KeysPerMap = *keys
+	}
+	if *vocab > 0 {
+		cfg.Vocab = *vocab
+	}
+	if *copiers > 0 {
+		cfg.Copiers = *copiers
+	}
+	if *factor > 0 {
+		cfg.MergeFactor = *factor
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	res, err := experiments.RunShuffleBench(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpid-bench: %v\n", err)
+		os.Exit(1)
+	}
+	res.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	fmt.Print(experiments.RenderShuffleBench(res))
+
+	if *out != "" {
+		body, err := experiments.MarshalShuffleBench(res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpid-bench: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(body, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mpid-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

@@ -1,0 +1,155 @@
+// Documentation lint, run by `make docs-lint` and the ordinary test
+// suite: every internal package must carry a package doc comment, and
+// every local markdown link in the top-level docs must resolve.
+package mpid_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocs requires a `// Package <name> ...` doc comment in every
+// package under internal/ (and on the root package), so `go doc` has
+// something to say about each subsystem.
+func TestPackageDocs(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs = append(dirs, ".")
+	for _, dir := range dirs {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		pkg := filepath.Base(dir)
+		if dir == "." {
+			pkg = "mpid"
+		}
+		if !packageHasDoc(t, dir, pkg) {
+			t.Errorf("package %s (%s) has no '// Package %s ...' doc comment", pkg, dir, pkg)
+		}
+	}
+}
+
+// TestCommandDocs requires a `// Command <name> ...` doc comment on every
+// main package under cmd/.
+func TestCommandDocs(t *testing.T) {
+	dirs, err := filepath.Glob("cmd/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		name := filepath.Base(dir)
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil || len(files) == 0 {
+			continue
+		}
+		found := false
+		for _, f := range files {
+			if fileHasPrefixComment(t, f, "// Command "+name+" ") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("command %s has no '// Command %s ...' doc comment", dir, name)
+		}
+	}
+}
+
+func packageHasDoc(t *testing.T, dir, pkg string) bool {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		if fileHasPrefixComment(t, f, "// Package "+pkg+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// fileHasPrefixComment reports whether f contains a comment line starting
+// with prefix immediately adjacent to its package clause (i.e. a real doc
+// comment, not a stray mention).
+func fileHasPrefixComment(t *testing.T, f, prefix string) bool {
+	t.Helper()
+	data, err := os.ReadFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		// Walk forward through the comment block; it must end at a
+		// package/func clause boundary for godoc to pick it up.
+		for j := i + 1; j < len(lines); j++ {
+			switch {
+			case strings.HasPrefix(lines[j], "//"):
+				continue
+			case strings.HasPrefix(lines[j], "package "):
+				return true
+			}
+			break
+		}
+	}
+	return false
+}
+
+// mdLink matches inline markdown links [text](target); images and
+// reference-style links are out of scope for these docs.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks checks that every local (non-URL) link target in the
+// top-level docs points at an existing file or directory.
+func TestMarkdownLinks(t *testing.T) {
+	docs := []string{
+		"README.md", "DESIGN.md", "EXPERIMENTS.md", "ARCHITECTURE.md",
+		"ROADMAP.md", "CHANGES.md",
+	}
+	for _, doc := range docs {
+		f, err := os.Open(doc)
+		if err != nil {
+			t.Errorf("%s: %v", doc, err)
+			continue
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			for _, m := range mdLink.FindAllStringSubmatch(sc.Text(), -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue // external; not checked offline
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue // intra-document anchor
+				}
+				if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+					t.Errorf("%s:%d: broken local link %q", doc, lineNo, fmt.Sprint(m[1]))
+				}
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Errorf("%s: %v", doc, err)
+		}
+		f.Close()
+	}
+}

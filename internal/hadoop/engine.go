@@ -57,6 +57,21 @@ type Config struct {
 	// CopierThreads is the number of parallel shuffle fetchers per reduce
 	// task (mapred.reduce.parallel.copies; default 5).
 	CopierThreads int
+	// MergeFactor is the reduce-side merge fan-in (io.sort.factor; default
+	// 10): while fetches are still in flight, a background merge pass folds
+	// the MergeFactor smallest pending runs into one, overlapping merge CPU
+	// with copy wait. Only meaningful on the pipelined shuffle path.
+	MergeFactor int
+	// CompressShuffle compresses map-output segments on the jetty wire
+	// (mapred.compress.map.output): trackers advertise acceptance on fetch,
+	// shuffle servers DEFLATE each served segment, and the copier inflates
+	// into pooled buffers. Trades a little CPU for shuffle bytes.
+	CompressShuffle bool
+	// LegacyShuffle restores the pre-pipeline reduce path — buffer every
+	// fetched segment into one hash map, then sort the whole key space —
+	// kept for A/B benchmarking and the byte-identical property tests. The
+	// default (false) is the pipelined sorted-run merge engine.
+	LegacyShuffle bool
 	// MaxTaskAttempts bounds how many times one task may be attempted
 	// before the job aborts (mapred.map.max.attempts; default 4).
 	// Re-executions forced by tracker loss are not charged against it.
@@ -118,6 +133,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CopierThreads <= 0 {
 		c.CopierThreads = 5
+	}
+	if c.MergeFactor <= 1 {
+		c.MergeFactor = 10
 	}
 	if c.MaxTaskAttempts <= 0 {
 		c.MaxTaskAttempts = 4
@@ -713,14 +731,15 @@ func (jt *jobTracker) handleMapCompleted(params [][]byte) ([]byte, error) {
 }
 
 // handleReduceCompleted: [trackerID, reduceID, framedPairs, copyNs,
-// sortNs, reduceNs, spans?]. Idempotent — duplicate completions (retried
-// RPCs, speculative re-executions after a tracker was wrongly presumed
-// lost) are dropped. The Ns parameters carry the reduce task's measured
-// copy/sort/reduce phase wall times for the job report; the optional
-// seventh is the tracker's drained span batch.
+// sortNs, reduceNs, mergeNs, spans?]. Idempotent — duplicate completions
+// (retried RPCs, speculative re-executions after a tracker was wrongly
+// presumed lost) are dropped. The Ns parameters carry the reduce task's
+// measured copy/sort/reduce phase wall times plus the background merge
+// CPU time overlapped with copy; the optional eighth is the tracker's
+// drained span batch.
 func (jt *jobTracker) handleReduceCompleted(params [][]byte) ([]byte, error) {
-	if len(params) < 6 {
-		return nil, errors.New("reduceCompleted wants 6 parameters")
+	if len(params) < 7 {
+		return nil, errors.New("reduceCompleted wants 7 parameters")
 	}
 	trackerID, _, err := kv.ReadVLong(params[0])
 	if err != nil {
@@ -746,6 +765,10 @@ func (jt *jobTracker) handleReduceCompleted(params [][]byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	mergeNs, _, err := kv.ReadVLong(params[6])
+	if err != nil {
+		return nil, err
+	}
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
 	if trackerID < 0 || int(trackerID) >= len(jt.trackers) {
@@ -754,8 +777,8 @@ func (jt *jobTracker) handleReduceCompleted(params [][]byte) ([]byte, error) {
 	if int(reduceID) < 0 || int(reduceID) >= len(jt.outputs) {
 		return nil, fmt.Errorf("reduce id %d out of range", reduceID)
 	}
-	if len(params) > 6 {
-		jt.ingestSpansLocked(params[6])
+	if len(params) > 7 {
+		jt.ingestSpansLocked(params[7])
 	}
 	if jt.trackers[trackerID].lost || jt.doneReduces[int(reduceID)] {
 		return nil, nil
@@ -772,6 +795,7 @@ func (jt *jobTracker) handleReduceCompleted(params [][]byte) ([]byte, error) {
 		Copy:    time.Duration(copyNs),
 		Sort:    time.Duration(sortNs),
 		Reduce:  time.Duration(reduceNs),
+		Merge:   time.Duration(mergeNs),
 	}
 	jt.doneReduces[task] = true
 	jt.reducesDone++

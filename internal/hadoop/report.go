@@ -28,17 +28,23 @@ func (m MapTiming) Total() time.Duration { return m.Run + m.Spill }
 // ReduceTiming is one reduce task's copy/sort/reduce phase breakdown —
 // the live analogue of the per-reducer bars in the paper's Figure 1.
 // Copy spans from the first mapLocations poll until every map output is
-// fetched and merged; Sort is the key collection and ordering pass;
-// Reduce is the user Reduce loop plus output serialization.
+// fetched and merged; Sort is the final merge pass (the key collection
+// and ordering pass on the legacy path); Reduce is the user Reduce loop
+// plus output serialization. Merge is the background merge-pass CPU time
+// the pipelined shuffle overlapped with the copy phase — it runs inside
+// Copy's wall time, so it is reported alongside the phases but not added
+// to Total.
 type ReduceTiming struct {
 	Task    int
 	Tracker int
 	Copy    time.Duration
 	Sort    time.Duration
 	Reduce  time.Duration
+	Merge   time.Duration
 }
 
-// Total is the task's measured wall time across the three phases.
+// Total is the task's measured wall time across the three phases. Merge
+// time overlaps Copy and is deliberately excluded.
 func (r ReduceTiming) Total() time.Duration { return r.Copy + r.Sort + r.Reduce }
 
 // JobReport is the jobtracker's post-job observability bundle: the
@@ -121,7 +127,7 @@ func (r *JobReport) String() string {
 		b.WriteString("\n")
 	}
 	if len(r.Reduces) > 0 {
-		t := stats.NewTable("reduce", "tracker", "copy", "sort", "reduce", "total", "copy%")
+		t := stats.NewTable("reduce", "tracker", "copy", "merge", "sort", "reduce", "total", "copy%")
 		for _, rt := range r.Reduces {
 			share := 0.0
 			if rt.Total() > 0 {
@@ -131,6 +137,7 @@ func (r *JobReport) String() string {
 				fmt.Sprintf("r%d", rt.Task),
 				fmt.Sprintf("%d", rt.Tracker),
 				stats.FormatDuration(rt.Copy),
+				stats.FormatDuration(rt.Merge),
 				stats.FormatDuration(rt.Sort),
 				stats.FormatDuration(rt.Reduce),
 				stats.FormatDuration(rt.Total()),

@@ -13,6 +13,7 @@ import (
 	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mapred"
 	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/shuffle"
 	"github.com/ict-repro/mpid/internal/trace"
 )
 
@@ -46,6 +47,7 @@ type taskTracker struct {
 	jettySrv  *jetty.Server
 	jettyAddr string
 	fetch     *jetty.Client
+	pool      *shuffle.BufferPool // fetch + merge buffers, shared across this tracker's reduces
 
 	mapSem    chan struct{}
 	reduceSem chan struct{}
@@ -72,15 +74,22 @@ func newTaskTracker(idx int, jtAddr string, job mapred.Job, splits []mapred.Spli
 		tr:        trace.New(fmt.Sprintf("tracker%d", idx)),
 		store:     jetty.NewStore(),
 		fetch:     jetty.NewClient(),
+		pool:      shuffle.NewBufferPool(),
 		mapSem:    make(chan struct{}, cfg.MapSlots),
 		reduceSem: make(chan struct{}, cfg.ReduceSlots),
 	}
 	// The shuffle fetch client shares the RPC retry budget, the fault
-	// injector and the job's metrics registry.
+	// injector, the job's metrics registry and — on the pipelined path —
+	// the tracker's buffer pool, so fetch buffers recycle through the
+	// merger and back into the next fetch.
 	tt.fetch.MaxAttempts = cfg.RPC.MaxAttempts
 	tt.fetch.Backoff = cfg.RPC.Backoff
 	tt.fetch.Injector = cfg.Injector
 	tt.fetch.Metrics = cfg.Metrics
+	tt.fetch.Compress = cfg.CompressShuffle
+	if !cfg.LegacyShuffle {
+		tt.fetch.Pool = tt.pool
+	}
 	tt.fetch.SetSeed(int64(idx) + 1)
 
 	tt.jettySrv = jetty.NewServer(tt.store)
@@ -88,6 +97,7 @@ func newTaskTracker(idx int, jtAddr string, job mapred.Job, splits []mapred.Spli
 	tt.jettySrv.Component = tt.comp + ".jetty"
 	tt.jettySrv.Metrics = cfg.Metrics
 	tt.jettySrv.Tracer = tt.tr
+	tt.jettySrv.Compress = cfg.CompressShuffle
 	addr, err := tt.jettySrv.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -320,6 +330,7 @@ func (tt *taskTracker) launchReduce(task, attempt int, pctx trace.Context) {
 			kv.AppendVLong(nil, int64(ph.copy)),
 			kv.AppendVLong(nil, int64(ph.sort)),
 			kv.AppendVLong(nil, int64(ph.reduce)),
+			kv.AppendVLong(nil, int64(ph.merge)),
 		}
 		if blob := trace.EncodeSpans(tt.tr.Drain()); blob != nil {
 			params = append(params, blob)
@@ -385,11 +396,16 @@ func (tt *taskTracker) runMapTask(task, attempt int, pctx trace.Context) (mapPha
 	runSpan.End()
 	tt.met.Timer("task.map.run").ObserveDuration(ph.run)
 
-	// Spill: combine and serialize each partition, publish to the store.
+	// Spill: sort, combine and serialize each partition, publish to the
+	// store. Sorting here makes every published segment a run — framed
+	// KeyLists in strictly increasing key order — which is what lets the
+	// reduce side merge instead of re-sort (the map-side half of the
+	// pipelined shuffle; see internal/shuffle).
 	spillSpan := span.Child("map.spill", trace.KindPhase)
 	defer spillSpan.End()
 	spillStart := time.Now()
 	for p := 0; p < nParts; p++ {
+		sort.Strings(order[p])
 		var buf []byte
 		for _, k := range order[p] {
 			values := groups[p][k]
@@ -414,18 +430,256 @@ type mapOutputLoc struct {
 }
 
 // reducePhases is the wall-time breakdown of one reduce task — the live
-// counterpart of the paper's Figure 1 per-reducer measurement.
+// counterpart of the paper's Figure 1 per-reducer measurement. merge is
+// background merge-pass CPU overlapped with copy; it runs inside copy's
+// wall time and is reported separately, never summed into it.
 type reducePhases struct {
 	copy   time.Duration
 	sort   time.Duration
 	reduce time.Duration
+	merge  time.Duration
 }
 
 // runReduceTask is the copy/sort/reduce lifecycle: poll the jobtracker for
 // completed map locations, fetch partitions over HTTP with a pool of
-// parallel copiers (mapred.reduce.parallel.copies), merge by key, sort, and
-// run the user reduce function. The returned phases are the task's wall
-// times per stage, reported to the jobtracker with the output.
+// parallel copiers (mapred.reduce.parallel.copies), merge by key, and run
+// the user reduce function. The returned phases are the task's wall times
+// per stage, reported to the jobtracker with the output.
+//
+// The default path is the pipelined shuffle (runReducePipelined): fetched
+// segments are sorted runs, a concurrent merger folds them while copies
+// are still in flight, and the final merge streams key groups in order —
+// no whole-key-space sort. Config.LegacyShuffle selects the old
+// buffer-everything-then-sort path (runReduceLegacy), kept for A/B
+// benchmarking and the byte-identical property tests.
+func (tt *taskTracker) runReduceTask(task, attempt int, pctx trace.Context) ([]byte, reducePhases, error) {
+	if tt.cfg.LegacyShuffle {
+		return tt.runReduceLegacy(task, attempt, pctx)
+	}
+	return tt.runReducePipelined(task, attempt, pctx)
+}
+
+// runReducePipelined is the streaming shuffle: copiers validate each
+// fetched run and hand it straight to a shuffle.Merger, whose background
+// passes fold runs (applying the job's combiner) while more fetches are in
+// flight — the copy/merge overlap the paper says Hadoop's copy-dominated
+// shuffle is missing. The sort phase is the final k-way pass; the reduce
+// loop consumes its merge order directly.
+//
+// The same scheduling rules as the legacy path apply: re-advertised maps
+// are deduped per poll and guarded on the fetched set under the merge
+// lock, and a no-progress poll backs off for a heartbeat. A fetch that
+// yields a malformed run counts as a fetch failure (reported, map
+// re-executed) — corruption must not surface mid-merge.
+func (tt *taskTracker) runReducePipelined(task, attempt int, pctx trace.Context) ([]byte, reducePhases, error) {
+	var ph reducePhases
+	span := tt.tr.StartChild(pctx, fmt.Sprintf("r%d", task), trace.KindTask)
+	span.Annotate("attempt", fmt.Sprint(attempt))
+	defer span.End()
+
+	var combine shuffle.Combiner
+	if tt.job.Combiner != nil {
+		combine = shuffle.Combiner(tt.job.Combiner)
+	}
+	passNo := 0
+	merger := shuffle.NewMerger(shuffle.Config{
+		Expected: len(tt.splits),
+		Factor:   tt.cfg.MergeFactor,
+		Combine:  combine,
+		Pool:     tt.pool,
+		OnPass: func(pi shuffle.PassInfo) {
+			tt.met.Timer("task.reduce.merge").ObserveDuration(pi.Duration)
+			tt.met.Counter("shuffle.merge_passes").Inc()
+			passNo++
+			tt.tr.Record(span.Context(), fmt.Sprintf("merge.pass%d", passNo), trace.KindMerge,
+				pi.Start, pi.Start.Add(pi.Duration),
+				trace.Annotation{Key: "runs", Value: fmt.Sprint(pi.Runs)},
+				trace.Annotation{Key: "bytes_in", Value: fmt.Sprint(pi.BytesIn)},
+				trace.Annotation{Key: "bytes_out", Value: fmt.Sprint(pi.BytesOut)})
+		},
+	})
+
+	fetched := make(map[int]bool, len(tt.splits))
+	var mergedMu sync.Mutex // guards fetched; serializes merger handoff
+	copierSem := make(chan struct{}, tt.cfg.CopierThreads)
+
+	copySpan := span.Child("reduce.copy", trace.KindPhase)
+	defer copySpan.End()
+	copyStart := time.Now()
+	for len(fetched) < len(tt.splits) {
+		if tt.isAborting() {
+			return nil, ph, fmt.Errorf("job aborted during copy")
+		}
+		jobs, err := tt.pollMapLocations(fetched)
+		if err != nil {
+			return nil, ph, err
+		}
+		var (
+			wg       sync.WaitGroup
+			okMu     sync.Mutex
+			progress int
+			failed   []mapOutputLoc
+		)
+		for _, j := range jobs {
+			j := j
+			copierSem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-copierSem }()
+				data, err := tt.fetchRun(j, task, copySpan.Context())
+				if err != nil {
+					okMu.Lock()
+					failed = append(failed, j)
+					okMu.Unlock()
+					return
+				}
+				mergedMu.Lock()
+				if !fetched[j.mapID] {
+					fetched[j.mapID] = true
+					merger.Add(j.mapID, data)
+					mergedMu.Unlock()
+				} else {
+					// A re-execution raced the original copy; this
+					// duplicate must not reach the merger.
+					mergedMu.Unlock()
+					tt.pool.Put(data)
+				}
+				okMu.Lock()
+				progress++
+				okMu.Unlock()
+			}()
+		}
+		wg.Wait()
+		if err := tt.reportFetchFailures(task, failed); err != nil {
+			return nil, ph, err
+		}
+		if len(fetched) < len(tt.splits) && progress == 0 {
+			time.Sleep(tt.cfg.Heartbeat)
+		}
+	}
+	ph.copy = time.Since(copyStart)
+	copySpan.End()
+	tt.met.Timer("task.reduce.copy").ObserveDuration(ph.copy)
+
+	// Sort phase = the final k-way merge pass: it streams key groups in
+	// merge order, so there is no whole-key-space sort.Strings here. Groups
+	// alias the merger's buffers, which stay live until the task returns.
+	sortSpan := span.Child("reduce.sort", trace.KindPhase)
+	defer sortSpan.End()
+	sortStart := time.Now()
+	var groups []kv.KeyList
+	if err := merger.Merge(func(kl kv.KeyList) error {
+		groups = append(groups, kl)
+		return nil
+	}); err != nil {
+		span.Annotate("error", err.Error())
+		return nil, ph, err
+	}
+	ph.sort = time.Since(sortStart)
+	sortSpan.End()
+	tt.met.Timer("task.reduce.sort").ObserveDuration(ph.sort)
+	ph.merge = merger.Stats().Time
+
+	reduceSpan := span.Child("reduce.reduce", trace.KindPhase)
+	defer reduceSpan.End()
+	reduceStart := time.Now()
+	var out []byte
+	emit := func(key, value []byte) error {
+		out = kv.AppendPair(out, kv.Pair{Key: key, Value: value})
+		return nil
+	}
+	for _, g := range groups {
+		if err := tt.job.Reducer.Reduce(g.Key, g.Values, emit); err != nil {
+			return nil, ph, err
+		}
+	}
+	ph.reduce = time.Since(reduceStart)
+	reduceSpan.End()
+	tt.met.Timer("task.reduce.reduce").ObserveDuration(ph.reduce)
+	return out, ph, nil
+}
+
+// pollMapLocations asks the jobtracker for completed map locations and
+// returns the ones not yet fetched, deduped within the response (an old
+// and a re-executed copy of one map may both be advertised).
+func (tt *taskTracker) pollMapLocations(fetched map[int]bool) ([]mapOutputLoc, error) {
+	locs, err := tt.rpc.Call("mapLocations")
+	if err != nil {
+		return nil, err
+	}
+	count, n, err := kv.ReadVLong(locs)
+	if err != nil {
+		return nil, err
+	}
+	locs = locs[n:]
+	var jobs []mapOutputLoc
+	queued := make(map[int]bool, int(count))
+	for i := int64(0); i < count; i++ {
+		mapID64, n, err := kv.ReadVLong(locs)
+		if err != nil {
+			return nil, err
+		}
+		locs = locs[n:]
+		trackerID64, n, err := kv.ReadVLong(locs)
+		if err != nil {
+			return nil, err
+		}
+		locs = locs[n:]
+		addr, n, err := kv.ReadBytes(locs)
+		if err != nil {
+			return nil, err
+		}
+		locs = locs[n:]
+		if mapID := int(mapID64); !fetched[mapID] && !queued[mapID] {
+			queued[mapID] = true
+			jobs = append(jobs, mapOutputLoc{mapID: mapID, trackerID: int(trackerID64), addr: string(addr)})
+		}
+	}
+	return jobs, nil
+}
+
+// reportFetchFailures tells the jobtracker about failed fetches so the
+// affected maps are re-executed elsewhere.
+func (tt *taskTracker) reportFetchFailures(task int, failed []mapOutputLoc) error {
+	for _, j := range failed {
+		if _, err := tt.rpc.Call("fetchFailed",
+			kv.AppendVLong(nil, int64(task)),
+			kv.AppendVLong(nil, int64(j.mapID)),
+			kv.AppendVLong(nil, int64(j.trackerID))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fetchRun retrieves one map output partition and validates it is a
+// well-formed sorted run before handing it to the caller. The returned
+// buffer may come from the tracker's pool (the fetch client shares it);
+// ownership passes to the caller.
+func (tt *taskTracker) fetchRun(j mapOutputLoc, reduce int, pctx trace.Context) ([]byte, error) {
+	fs := tt.tr.StartChild(pctx, fmt.Sprintf("fetch m%d", j.mapID), trace.KindFetch)
+	defer fs.End()
+	fs.Annotate("from", fmt.Sprintf("tracker%d", j.trackerID))
+	data, err := tt.fetch.FetchMapOutputTraced(fs.Context(), j.addr,
+		jetty.OutputKey{Job: jobName, Map: j.mapID, Reduce: reduce})
+	if err != nil {
+		fs.Annotate("error", err.Error())
+		return nil, err
+	}
+	fs.Annotate("bytes", fmt.Sprint(len(data)))
+	if _, err := shuffle.ValidateRun(data); err != nil {
+		fs.Annotate("error", "corrupt output")
+		tt.pool.Put(data)
+		return nil, fmt.Errorf("corrupt map %d output: %w", j.mapID, err)
+	}
+	return data, nil
+}
+
+// runReduceLegacy is the pre-pipeline path: parse every fetched output
+// completely, buffer all values into one hash map, then sort the whole key
+// space with sort.Strings before reducing. Selected by
+// Config.LegacyShuffle for A/B benchmarking.
 //
 // Each fetched output is parsed completely before it is merged, so a fetch
 // or parse failure leaves no partial state behind: the failure is reported
@@ -441,7 +695,7 @@ type reducePhases struct {
 //   - when a poll makes no progress — no new locations, or every fetch
 //     failed — the reducer backs off for a heartbeat instead of hot-polling
 //     the jobtracker in a tight RPC loop while maps are still running.
-func (tt *taskTracker) runReduceTask(task, attempt int, pctx trace.Context) ([]byte, reducePhases, error) {
+func (tt *taskTracker) runReduceLegacy(task, attempt int, pctx trace.Context) ([]byte, reducePhases, error) {
 	var ph reducePhases
 	span := tt.tr.StartChild(pctx, fmt.Sprintf("r%d", task), trace.KindTask)
 	span.Annotate("attempt", fmt.Sprint(attempt))
@@ -460,37 +714,9 @@ func (tt *taskTracker) runReduceTask(task, attempt int, pctx trace.Context) ([]b
 		if tt.isAborting() {
 			return nil, ph, fmt.Errorf("job aborted during copy")
 		}
-		locs, err := tt.rpc.Call("mapLocations")
+		jobs, err := tt.pollMapLocations(fetched)
 		if err != nil {
 			return nil, ph, err
-		}
-		count, n, err := kv.ReadVLong(locs)
-		if err != nil {
-			return nil, ph, err
-		}
-		locs = locs[n:]
-		var jobs []mapOutputLoc
-		queued := make(map[int]bool, int(count))
-		for i := int64(0); i < count; i++ {
-			mapID64, n, err := kv.ReadVLong(locs)
-			if err != nil {
-				return nil, ph, err
-			}
-			locs = locs[n:]
-			trackerID64, n, err := kv.ReadVLong(locs)
-			if err != nil {
-				return nil, ph, err
-			}
-			locs = locs[n:]
-			addr, n, err := kv.ReadBytes(locs)
-			if err != nil {
-				return nil, ph, err
-			}
-			locs = locs[n:]
-			if mapID := int(mapID64); !fetched[mapID] && !queued[mapID] {
-				queued[mapID] = true
-				jobs = append(jobs, mapOutputLoc{mapID: mapID, trackerID: int(trackerID64), addr: string(addr)})
-			}
 		}
 		// Fetch the new outputs with bounded parallelism. A failed fetch
 		// is reported and skipped, not fatal: the map will move.
@@ -528,13 +754,8 @@ func (tt *taskTracker) runReduceTask(task, attempt int, pctx trace.Context) ([]b
 			}()
 		}
 		wg.Wait()
-		for _, j := range failed {
-			if _, err := tt.rpc.Call("fetchFailed",
-				kv.AppendVLong(nil, int64(task)),
-				kv.AppendVLong(nil, int64(j.mapID)),
-				kv.AppendVLong(nil, int64(j.trackerID))); err != nil {
-				return nil, ph, err
-			}
+		if err := tt.reportFetchFailures(task, failed); err != nil {
+			return nil, ph, err
 		}
 		if len(fetched) < len(tt.splits) && progress == 0 {
 			time.Sleep(tt.cfg.Heartbeat)

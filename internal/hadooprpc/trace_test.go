@@ -43,6 +43,7 @@ func traceTestProtocol(t *testing.T, gotCtx *[][]byte) *Protocol {
 //     dispatcher strips the trailing context param);
 //   - an untraced call to a traced handler delivers a nil context;
 //   - a traced call to a traced handler delivers the exact encoded context;
+//
 // exercised over both client types (serialized Client and MuxClient).
 func TestTraceContextBackCompat(t *testing.T) {
 	var seen [][]byte

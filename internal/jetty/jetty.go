@@ -23,6 +23,7 @@ import (
 
 	"github.com/ict-repro/mpid/internal/faults"
 	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/shuffle"
 	"github.com/ict-repro/mpid/internal/trace"
 )
 
@@ -70,6 +71,14 @@ const (
 	// reducer's fetch span. Absent on untraced fetches; ignored by servers
 	// without a Tracer.
 	HeaderTraceContext = "X-Trace-Context"
+	// HeaderAcceptCompressed is sent by copiers willing to inflate
+	// (mapred.compress.map.output): a compressing server then DEFLATEs the
+	// segment. Servers without Compress ignore it, so mixed clusters work.
+	HeaderAcceptCompressed = "X-Accept-Compressed"
+	// HeaderCompressed marks a response body as DEFLATE-compressed; the raw
+	// segment length still travels in HeaderMapOutputLength so the client
+	// can size its inflate buffer and verify the stream.
+	HeaderCompressed = "X-Map-Output-Compressed"
 )
 
 // OutputKey addresses one map output partition.
@@ -141,7 +150,12 @@ type Server struct {
 	// parented under the fetcher's span when the request carries
 	// HeaderTraceContext. Set before Listen.
 	Tracer *trace.Tracer
+	// Compress, when set, DEFLATEs map-output bodies for clients that sent
+	// HeaderAcceptCompressed, trading serve CPU for shuffle wire bytes.
+	// Set before Listen.
+	Compress bool
 
+	pool    *shuffle.BufferPool // recycles compression buffers across serves
 	httpSrv *http.Server
 	ln      net.Listener
 	wg      sync.WaitGroup
@@ -151,7 +165,7 @@ type Server struct {
 
 // NewServer creates a server over the given store.
 func NewServer(store *Store) *Server {
-	return &Server{store: store, WriteChunk: 64 * 1024}
+	return &Server{store: store, WriteChunk: 64 * 1024, pool: shuffle.NewBufferPool()}
 }
 
 // Listen binds to addr and starts serving; it returns the bound address.
@@ -226,10 +240,19 @@ func (s *Server) handleMapOutput(w http.ResponseWriter, r *http.Request) {
 	span.Annotate("bytes", strconv.Itoa(len(data)))
 	w.Header().Set(HeaderMapOutputLength, strconv.Itoa(len(data)))
 	w.Header().Set(HeaderForReduce, strconv.Itoa(reduceID))
-	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	body := data
+	if s.Compress && r.Header.Get(HeaderAcceptCompressed) != "" {
+		comp := shuffle.Compress(s.pool.Get(len(data))[:0], data)
+		w.Header().Set(HeaderCompressed, "1")
+		span.Annotate("wire_bytes", strconv.Itoa(len(comp)))
+		s.Metrics.Counter("shuffle.serves_compressed").Inc()
+		body = comp
+		defer s.pool.Put(comp)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	s.Metrics.Counter("shuffle.serves").Inc()
-	s.Metrics.Counter("shuffle.serve_bytes").Add(int64(len(data)))
-	s.writeChunked(w, data)
+	s.Metrics.Counter("shuffle.serve_bytes").Add(int64(len(body)))
+	s.writeChunked(w, body)
 }
 
 // handleStream serves size synthetic bytes, the §II.B bandwidth endpoint.
@@ -312,6 +335,15 @@ type Client struct {
 	// repeated attempts against the same server and
 	// "shuffle.fetch_errors" for fetches that failed for good.
 	Metrics *metrics.Registry
+	// Compress advertises HeaderAcceptCompressed on map-output fetches;
+	// against a compressing server the body arrives DEFLATEd and is
+	// inflated here. The returned bytes are always the raw segment.
+	Compress bool
+	// Pool, when set, supplies the fetch and inflate buffers, so a steady
+	// shuffle stops allocating per fetch. Callers that hand fetched
+	// segments to a shuffle.Merger with the same pool get end-to-end buffer
+	// recycling.
+	Pool *shuffle.BufferPool
 
 	jit *faults.Jitter
 }
@@ -428,6 +460,9 @@ func (c *Client) fetch(url string, tctx trace.Context) ([]byte, error) {
 	if tctx.Valid() {
 		req.Header.Set(HeaderTraceContext, tctx.String())
 	}
+	if c.Compress {
+		req.Header.Set(HeaderAcceptCompressed, "1")
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
@@ -445,14 +480,40 @@ func (c *Client) fetch(url string, tctx trace.Context) ([]byte, error) {
 			want = v
 		}
 	}
-	data, err := io.ReadAll(resp.Body)
+	data, err := c.readBody(resp)
 	if err != nil {
 		return nil, err
+	}
+	if resp.Header.Get(HeaderCompressed) != "" {
+		if want < 0 {
+			return nil, fmt.Errorf("jetty: compressed response without %s", HeaderMapOutputLength)
+		}
+		raw, err := shuffle.Decompress(c.Pool, data, int(want))
+		c.Pool.Put(data)
+		if err != nil {
+			return nil, err
+		}
+		c.Metrics.Counter("shuffle.fetches_compressed").Inc()
+		return raw, nil
 	}
 	if want >= 0 && int64(len(data)) != want {
 		return nil, fmt.Errorf("jetty: got %d bytes, header said %d", len(data), want)
 	}
 	return data, nil
+}
+
+// readBody drains the response body, into a pooled buffer when the length
+// is known and a pool is set.
+func (c *Client) readBody(resp *http.Response) ([]byte, error) {
+	if c.Pool == nil || resp.ContentLength < 0 {
+		return io.ReadAll(resp.Body)
+	}
+	buf := c.Pool.Get(int(resp.ContentLength))
+	if _, err := io.ReadFull(resp.Body, buf); err != nil {
+		c.Pool.Put(buf)
+		return nil, err
+	}
+	return buf, nil
 }
 
 // Close releases idle connections.

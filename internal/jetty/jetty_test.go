@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"github.com/ict-repro/mpid/internal/shuffle"
 )
 
 func startServer(t *testing.T) (*Store, *Server, string) {
@@ -163,5 +165,60 @@ func TestServerCloseIdempotent(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCompressedFetchRoundTrip(t *testing.T) {
+	store, srv, addr := startServer(t)
+	srv.Compress = true
+	key := OutputKey{Job: "job_1", Map: 0, Reduce: 0}
+	payload := bytes.Repeat([]byte("intermediate "), 4096)
+	store.Put(key, payload)
+
+	// A compressing client gets the raw bytes back, inflated from fewer
+	// wire bytes.
+	c := NewClient()
+	defer c.Close()
+	c.Compress = true
+	c.Pool = shuffle.NewBufferPool()
+	got, err := c.FetchMapOutput(addr, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("compressed fetch: %d bytes, want %d", len(got), len(payload))
+	}
+
+	// A client that does not advertise acceptance gets plain bytes from
+	// the same compressing server.
+	plain := NewClient()
+	defer plain.Close()
+	got, err = plain.FetchMapOutput(addr, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("plain fetch from compressing server: %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+func TestPooledFetch(t *testing.T) {
+	store, _, addr := startServer(t)
+	key := OutputKey{Job: "job_1", Map: 0, Reduce: 0}
+	payload := bytes.Repeat([]byte("pooled "), 1024)
+	store.Put(key, payload)
+
+	c := NewClient()
+	defer c.Close()
+	c.Pool = shuffle.NewBufferPool()
+	for i := 0; i < 3; i++ {
+		got, err := c.FetchMapOutput(addr, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("pooled fetch %d: %d bytes, want %d", i, len(got), len(payload))
+		}
+		c.Pool.Put(got)
 	}
 }

@@ -54,6 +54,14 @@ type Params struct {
 	// (MPI_Isend adoption, §IV.A future work). The paper's prototype is
 	// synchronous; the ablation bench flips this.
 	Async bool
+	// Pipelined overlaps the reducer's merge with the map phase: each
+	// mapper's share of the intermediate data is merged as that mapper
+	// completes, instead of waiting for every mapper before touching any
+	// data — the simulation mirror of the live engine's pipelined shuffle
+	// (internal/shuffle), where background merge passes run while copies
+	// are in flight. Only the final merge tail remains after the last
+	// mapper finishes.
+	Pipelined bool
 }
 
 // withDefaults fills zero fields.
@@ -210,8 +218,11 @@ func Run(p Params) *Report {
 		})
 	}
 
-	// Reducer processes: wait for all mappers, then merge + reduce their
-	// share of the intermediate data.
+	// Reducer processes: merge + reduce their share of the intermediate
+	// data. Synchronous reducers wait for every mapper before touching any
+	// data; pipelined reducers consume each mapper's share as its
+	// completion latch fires, so merge CPU overlaps the mapper tail and
+	// only the last share is paid after MapEnd.
 	totalIntermediate := int64(float64(p.InputBytes) * p.CombinedSelectivity)
 	perReducer := totalIntermediate / int64(p.NumReducers)
 	for r := 0; r < p.NumReducers; r++ {
@@ -219,9 +230,22 @@ func Run(p Params) *Report {
 		node := reducerNode(r)
 		eng.Go(fmt.Sprintf("reducer-%d", r), func(pr *des.Proc) {
 			pr.Sleep(p.InitTime)
-			des.WaitAll(pr, mapperDone...)
-			// Reverse realignment + merge + user reduce + output write.
-			node.Compute(pr, perReducer, p.ReduceCPUBytesPerSec)
+			if p.Pipelined {
+				perMapper := perReducer / int64(p.NumMappers)
+				rem := perReducer - perMapper*int64(p.NumMappers)
+				for m := 0; m < p.NumMappers; m++ {
+					des.WaitAll(pr, mapperDone[m])
+					chunk := perMapper
+					if m == 0 {
+						chunk += rem
+					}
+					node.Compute(pr, chunk, p.ReduceCPUBytesPerSec)
+				}
+			} else {
+				des.WaitAll(pr, mapperDone...)
+				// Reverse realignment + merge + user reduce.
+				node.Compute(pr, perReducer, p.ReduceCPUBytesPerSec)
+			}
 			node.WriteStream(pr, perReducer)
 		})
 	}

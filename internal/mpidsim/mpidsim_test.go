@@ -127,3 +127,13 @@ func TestUnevenShareDistribution(t *testing.T) {
 		t.Fatalf("read %d, want %d", read, netmodel.GB+17)
 	}
 }
+
+func TestPipelinedReducerNotSlower(t *testing.T) {
+	p := WordCount(1 << 30)
+	sync := Run(p).JobTime
+	p.Pipelined = true
+	pipe := Run(p).JobTime
+	if pipe > sync {
+		t.Fatalf("pipelined reducer slower: %v > %v", pipe, sync)
+	}
+}

@@ -1,0 +1,349 @@
+package shuffle
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/ict-repro/mpid/internal/kv"
+)
+
+// buildRun frames the given key -> values map as a sorted run.
+func buildRun(t *testing.T, groups map[string][][]byte) []byte {
+	t.Helper()
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf []byte
+	for _, k := range keys {
+		buf = kv.AppendKeyList(buf, kv.KeyList{Key: []byte(k), Values: groups[k]})
+	}
+	return buf
+}
+
+// randSegments generates n segments with random overlapping keys; the
+// returned reference maps key -> values in segment order.
+func randSegments(t *testing.T, rng *rand.Rand, n, keysPer, vocab int) (segs [][]byte, ref map[string][][]byte) {
+	t.Helper()
+	ref = make(map[string][][]byte)
+	perSeg := make([]map[string][][]byte, n)
+	for s := 0; s < n; s++ {
+		perSeg[s] = make(map[string][][]byte)
+		for len(perSeg[s]) < keysPer {
+			k := fmt.Sprintf("key-%04d", rng.Intn(vocab))
+			if _, dup := perSeg[s][k]; dup {
+				continue
+			}
+			var vals [][]byte
+			for v := 0; v <= rng.Intn(3); v++ {
+				vals = append(vals, []byte(fmt.Sprintf("s%d-%s-v%d", s, k, v)))
+			}
+			perSeg[s][k] = vals
+		}
+	}
+	// Reference in segment order.
+	for s := 0; s < n; s++ {
+		keys := make([]string, 0, len(perSeg[s]))
+		for k := range perSeg[s] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ref[k] = append(ref[k], perSeg[s][k]...)
+		}
+		segs = append(segs, buildRun(t, perSeg[s]))
+	}
+	return segs, ref
+}
+
+// collect runs the final merge and gathers emitted groups, checking key
+// order is strictly increasing.
+func collect(t *testing.T, m *Merger) (keys []string, got map[string][][]byte) {
+	t.Helper()
+	got = make(map[string][][]byte)
+	var prev []byte
+	err := m.Merge(func(kl kv.KeyList) error {
+		if prev != nil && kv.Compare(prev, kl.Key) >= 0 {
+			t.Fatalf("merge emitted %q after %q", kl.Key, prev)
+		}
+		prev = append([]byte(nil), kl.Key...)
+		vals := make([][]byte, len(kl.Values))
+		for i, v := range kl.Values {
+			vals[i] = append([]byte(nil), v...)
+		}
+		key := string(kl.Key)
+		keys = append(keys, key)
+		got[key] = vals
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keys, got
+}
+
+func TestValidateRun(t *testing.T) {
+	run := buildRun(t, map[string][][]byte{
+		"a": {[]byte("1")}, "b": {[]byte("2"), []byte("3")}, "c": {},
+	})
+	n, err := ValidateRun(run)
+	if err != nil || n != 3 {
+		t.Fatalf("ValidateRun = %d, %v; want 3, nil", n, err)
+	}
+	// Out of order: b before a.
+	bad := kv.AppendKeyList(nil, kv.KeyList{Key: []byte("b")})
+	bad = kv.AppendKeyList(bad, kv.KeyList{Key: []byte("a")})
+	if _, err := ValidateRun(bad); err == nil {
+		t.Fatal("unsorted run validated")
+	}
+	// Duplicate key.
+	dup := kv.AppendKeyList(nil, kv.KeyList{Key: []byte("a")})
+	dup = kv.AppendKeyList(dup, kv.KeyList{Key: []byte("a")})
+	if _, err := ValidateRun(dup); err == nil {
+		t.Fatal("duplicate-key run validated")
+	}
+	// Truncated frame.
+	if _, err := ValidateRun(run[:len(run)-1]); err == nil {
+		t.Fatal("truncated run validated")
+	}
+}
+
+// TestMergeDeterministicOrder checks the pure final merge (no intermediate
+// passes): exact equality with the reference, including cross-segment
+// value order by segment sequence.
+func TestMergeDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	segs, ref := randSegments(t, rng, 6, 40, 60)
+	m := NewMerger(Config{Expected: len(segs), Factor: 100})
+	for i, s := range segs {
+		m.Add(i, s)
+	}
+	keys, got := collect(t, m)
+	if len(keys) != len(ref) {
+		t.Fatalf("merged %d keys, want %d", len(keys), len(ref))
+	}
+	for k, want := range ref {
+		if !valuesEqual(got[k], want) {
+			t.Fatalf("key %s: values %q, want %q", k, got[k], want)
+		}
+	}
+	if st := m.Stats(); st.Passes != 0 {
+		t.Fatalf("factor 100 over 6 segments ran %d passes, want 0", st.Passes)
+	}
+}
+
+// TestMergerPipelinedPasses drives a small-factor merger from concurrent
+// adders and checks (a) intermediate passes actually ran, (b) the merged
+// key space and value multisets match the reference.
+func TestMergerPipelinedPasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	segs, ref := randSegments(t, rng, 24, 50, 120)
+	var passes int
+	var passMu sync.Mutex
+	m := NewMerger(Config{
+		Expected: len(segs),
+		Factor:   4,
+		Pool:     NewBufferPool(),
+		OnPass: func(pi PassInfo) {
+			passMu.Lock()
+			passes++
+			passMu.Unlock()
+			if pi.Runs < 2 || pi.BytesIn <= 0 || pi.Keys <= 0 {
+				t.Errorf("degenerate pass info: %+v", pi)
+			}
+		},
+	})
+	var wg sync.WaitGroup
+	for i, s := range segs {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Add(i, s)
+		}()
+	}
+	wg.Wait()
+	_, got := collect(t, m)
+	if len(got) != len(ref) {
+		t.Fatalf("merged %d keys, want %d", len(got), len(ref))
+	}
+	for k, want := range ref {
+		if !sameMultiset(got[k], want) {
+			t.Fatalf("key %s: values %q, want (any order) %q", k, got[k], want)
+		}
+	}
+	passMu.Lock()
+	defer passMu.Unlock()
+	if passes == 0 {
+		t.Fatal("no intermediate passes ran — pipeline not pipelining")
+	}
+	st := m.Stats()
+	if st.Passes != passes || st.RunsIn == 0 || st.Time <= 0 {
+		t.Fatalf("stats %+v disagree with %d observed passes", st, passes)
+	}
+}
+
+// TestMergerCombine checks merge-time combining: with a sum combiner,
+// per-key totals survive arbitrary pass composition, and intermediate
+// passes shrink the data.
+func TestMergerCombine(t *testing.T) {
+	const segs, keysPer, vocab = 20, 30, 40
+	rng := rand.New(rand.NewSource(3))
+	ref := make(map[string]int64)
+	m := NewMerger(Config{
+		Expected: segs,
+		Factor:   3,
+		Pool:     NewBufferPool(),
+		Combine: func(key []byte, values [][]byte) [][]byte {
+			var total int64
+			for _, v := range values {
+				n, _, err := kv.ReadVLong(v)
+				if err != nil {
+					t.Errorf("combine: %v", err)
+					return values
+				}
+				total += n
+			}
+			return [][]byte{kv.AppendVLong(nil, total)}
+		},
+	})
+	for s := 0; s < segs; s++ {
+		groups := make(map[string][][]byte)
+		for len(groups) < keysPer {
+			k := fmt.Sprintf("key-%03d", rng.Intn(vocab))
+			if _, dup := groups[k]; dup {
+				continue
+			}
+			n := int64(rng.Intn(50) + 1)
+			ref[k] += n
+			groups[k] = [][]byte{kv.AppendVLong(nil, n)}
+		}
+		m.Add(s, buildRun(t, groups))
+	}
+	got := make(map[string]int64)
+	err := m.Merge(func(kl kv.KeyList) error {
+		var total int64
+		for _, v := range kl.Values {
+			n, _, err := kv.ReadVLong(v)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		got[string(kl.Key)] = total
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("merged %d keys, want %d", len(got), len(ref))
+	}
+	for k, want := range ref {
+		if got[k] != want {
+			t.Fatalf("key %s: total %d, want %d", k, got[k], want)
+		}
+	}
+	if st := m.Stats(); st.Passes == 0 || st.BytesOut >= st.BytesIn {
+		t.Fatalf("combining passes should shrink data: %+v", st)
+	}
+}
+
+func TestMergeRefusesIncomplete(t *testing.T) {
+	m := NewMerger(Config{Expected: 2})
+	m.Add(0, buildRun(t, map[string][][]byte{"a": {[]byte("1")}}))
+	if err := m.Merge(func(kv.KeyList) error { return nil }); err == nil {
+		t.Fatal("final merge with missing segments did not error")
+	}
+}
+
+func TestMergeEmptySegments(t *testing.T) {
+	m := NewMerger(Config{Expected: 3})
+	m.Add(0, nil)
+	m.Add(1, buildRun(t, map[string][][]byte{"k": {[]byte("v")}}))
+	m.Add(2, nil)
+	keys, got := collect(t, m)
+	if len(keys) != 1 || string(got["k"][0]) != "v" {
+		t.Fatalf("merge over empty segments: keys %v, got %v", keys, got)
+	}
+}
+
+func TestBufferPoolReuse(t *testing.T) {
+	p := NewBufferPool()
+	b := p.Get(100)
+	if len(b) != 100 {
+		t.Fatalf("Get(100) len = %d", len(b))
+	}
+	p.Put(b)
+	b2 := p.Get(50)
+	if cap(b2) < 50 || len(b2) != 50 {
+		t.Fatalf("recycled Get(50): len %d cap %d", len(b2), cap(b2))
+	}
+	// Nil pool allocates.
+	var nilPool *BufferPool
+	if got := nilPool.Get(8); len(got) != 8 {
+		t.Fatalf("nil pool Get(8) len = %d", len(got))
+	}
+	nilPool.Put(nil)
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, size := range []int{0, 1, 100, 64 << 10} {
+		src := make([]byte, size)
+		for i := range src {
+			src[i] = byte('a' + rng.Intn(8)) // compressible
+		}
+		comp := Compress(nil, src)
+		out, err := Decompress(nil, comp, size)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("size %d: round trip mismatch", size)
+		}
+		if _, err := Decompress(nil, comp, size+1); err == nil && size > 0 {
+			t.Fatalf("size %d: inflate to wrong size did not error", size)
+		}
+	}
+	big := bytes.Repeat([]byte("shuffle "), 8<<10)
+	if comp := Compress(nil, big); len(comp) >= len(big) {
+		t.Fatalf("compressible payload grew: %d -> %d", len(big), len(comp))
+	}
+}
+
+func valuesEqual(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMultiset(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := make([]string, len(a))
+	bs := make([]string, len(b))
+	for i := range a {
+		as[i], bs[i] = string(a[i]), string(b[i])
+	}
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

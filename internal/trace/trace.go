@@ -43,6 +43,7 @@ const (
 	KindAttempt = "attempt" // scheduler-side view of one task attempt
 	KindTask    = "task"    // tracker-side execution of one task attempt
 	KindPhase   = "phase"   // map run/spill, reduce copy/sort/reduce
+	KindMerge   = "merge"   // one background merge pass inside the copy phase
 	KindFetch   = "fetch"   // one shuffle fetch of one map output
 	KindServe   = "serve"   // shuffle-server side of a fetch
 	KindRPC     = "rpc"     // server-side handling of a traced RPC
@@ -145,6 +146,30 @@ func (t *Tracer) start(parent Context, name, kind string) *Span {
 		s.Trace = newID()
 	}
 	return s
+}
+
+// Record adds an already-finished span with explicit start and finish
+// times — for work measured elsewhere and reported after the fact, like a
+// background merge pass whose observer only fires on completion.
+func (t *Tracer) Record(parent Context, name, kind string, start, finish time.Time, notes ...Annotation) {
+	if t == nil {
+		return
+	}
+	s := Span{
+		ID:     newID(),
+		Name:   name,
+		Kind:   kind,
+		Proc:   t.proc,
+		Start:  start,
+		Finish: finish,
+		Notes:  append([]Annotation(nil), notes...),
+	}
+	if parent.Valid() {
+		s.Trace, s.Parent = parent.Trace, parent.Span
+	} else {
+		s.Trace = newID()
+	}
+	t.Add(s)
 }
 
 // Instant records an already-finished zero-duration span (an event): the
