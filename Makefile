@@ -26,19 +26,21 @@ test:
 race:
 	go test -race ./...
 
-# Full benchmark run: every Go benchmark, then the shuffle-engine A/B
-# harness writing its JSON baseline (the file EXPERIMENTS.md quotes).
+# Full benchmark run: every Go benchmark, then the A/B harnesses writing
+# their JSON baselines (the files EXPERIMENTS.md quotes).
 bench:
 	go test -bench=. -benchmem ./...
 	go run ./cmd/mpid-bench -o BENCH_shuffle.json
+	go run ./cmd/mpid-bench -suite mpid -o BENCH_mpid.json
 
 # One iteration of every benchmark — a CI smoke test that the bench code
 # still compiles and runs, without the timing noise of a real bench run —
-# plus a seconds-scale shuffle A/B producing the BENCH_shuffle.json CI
-# artifact.
+# plus seconds-scale A/B runs producing the BENCH_shuffle.json and
+# BENCH_mpid.json CI artifacts.
 bench-smoke:
 	go test -bench=. -benchtime=1x ./...
 	go run ./cmd/mpid-bench -smoke -o BENCH_shuffle.json
+	go run ./cmd/mpid-bench -suite mpid -smoke -o BENCH_mpid.json
 
 # Documentation lint: every internal package must carry a package doc
 # comment, and every local markdown link in the top-level docs must

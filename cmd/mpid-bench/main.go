@@ -1,15 +1,22 @@
-// Command mpid-bench runs the reduce-side shuffle A/B benchmark — the
-// legacy buffer-then-sort engine against the pipelined run/merge engine
-// (internal/shuffle) — and writes the result as BENCH_shuffle.json, the
-// committed baseline referenced by EXPERIMENTS.md.
+// Command mpid-bench runs the committed A/B baselines:
 //
-//	mpid-bench -o BENCH_shuffle.json        full baseline configuration
-//	mpid-bench -smoke -o /tmp/bench.json    seconds-scale CI smoke run
+//   - suite "shuffle": the reduce-side shuffle engine benchmark — the
+//     legacy buffer-then-sort engine against the pipelined run/merge
+//     engine (internal/shuffle) — written as BENCH_shuffle.json.
+//   - suite "mpid": the MPI-D core benchmark — the same live WordCount
+//     through the optimized core (arena send buffer, pooled transport,
+//     streaming receive merge), the legacy core (LegacySend+LegacyGroup)
+//     and the real mini-Hadoop engine — written as BENCH_mpid.json.
 //
-// Flags override individual workload knobs (-maps, -reducers, -keys,
-// -vocab, -copiers, -factor, -reps, -seed). The tool validates that both
-// engines produce byte-identical output before timing anything, prints
-// the A/B table to stdout, and exits non-zero if the run fails.
+//	mpid-bench -o BENCH_shuffle.json                  full shuffle baseline
+//	mpid-bench -suite mpid -o BENCH_mpid.json         full MPI-D core baseline
+//	mpid-bench -suite mpid -smoke -o /tmp/bench.json  seconds-scale CI smoke run
+//
+// Flags override individual workload knobs (shuffle: -maps, -reducers,
+// -keys, -vocab, -copiers, -factor; mpid: -size, -reducers, -vocab;
+// both: -reps, -seed). Each suite validates output equality across its
+// engines before timing anything, prints the A/B table to stdout, and
+// exits non-zero if the run fails.
 package main
 
 import (
@@ -22,65 +29,106 @@ import (
 )
 
 func main() {
+	suite := flag.String("suite", "shuffle", "benchmark suite: shuffle | mpid")
 	out := flag.String("o", "", "write the result JSON to this file (e.g. BENCH_shuffle.json)")
 	smoke := flag.Bool("smoke", false, "use the seconds-scale smoke configuration")
-	maps := flag.Int("maps", 0, "override: map segments per reducer")
+	maps := flag.Int("maps", 0, "shuffle: map segments per reducer")
 	reducers := flag.Int("reducers", 0, "override: concurrent reducers")
-	keys := flag.Int("keys", 0, "override: distinct keys per segment")
-	vocab := flag.Int("vocab", 0, "override: distinct-key universe per reducer")
-	copiers := flag.Int("copiers", 0, "override: parallel feeders per reducer")
-	factor := flag.Int("factor", 0, "override: merge fan-in (io.sort.factor)")
+	keys := flag.Int("keys", 0, "shuffle: distinct keys per segment")
+	vocab := flag.Int("vocab", 0, "override: distinct-key universe")
+	copiers := flag.Int("copiers", 0, "shuffle: parallel feeders per reducer")
+	factor := flag.Int("factor", 0, "shuffle: merge fan-in (io.sort.factor)")
+	size := flag.Int64("size", 0, "mpid: input size in bytes")
 	reps := flag.Int("reps", 0, "override: repetitions per engine (best kept)")
 	seed := flag.Int64("seed", 0, "override: workload seed")
 	flag.Parse()
 
-	cfg := experiments.DefaultShuffleBench()
-	if *smoke {
-		cfg = experiments.SmokeShuffleBench()
-	}
-	if *maps > 0 {
-		cfg.Maps = *maps
-	}
-	if *reducers > 0 {
-		cfg.Reducers = *reducers
-	}
-	if *keys > 0 {
-		cfg.KeysPerMap = *keys
-	}
-	if *vocab > 0 {
-		cfg.Vocab = *vocab
-	}
-	if *copiers > 0 {
-		cfg.Copiers = *copiers
-	}
-	if *factor > 0 {
-		cfg.MergeFactor = *factor
-	}
-	if *reps > 0 {
-		cfg.Reps = *reps
-	}
-	if *seed != 0 {
-		cfg.Seed = *seed
-	}
-
-	res, err := experiments.RunShuffleBench(cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mpid-bench: %v\n", err)
-		os.Exit(1)
-	}
-	res.Timestamp = time.Now().UTC().Format(time.RFC3339)
-	fmt.Print(experiments.RenderShuffleBench(res))
-
-	if *out != "" {
-		body, err := experiments.MarshalShuffleBench(res)
+	switch *suite {
+	case "shuffle":
+		cfg := experiments.DefaultShuffleBench()
+		if *smoke {
+			cfg = experiments.SmokeShuffleBench()
+		}
+		if *maps > 0 {
+			cfg.Maps = *maps
+		}
+		if *reducers > 0 {
+			cfg.Reducers = *reducers
+		}
+		if *keys > 0 {
+			cfg.KeysPerMap = *keys
+		}
+		if *vocab > 0 {
+			cfg.Vocab = *vocab
+		}
+		if *copiers > 0 {
+			cfg.Copiers = *copiers
+		}
+		if *factor > 0 {
+			cfg.MergeFactor = *factor
+		}
+		if *reps > 0 {
+			cfg.Reps = *reps
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		res, err := experiments.RunShuffleBench(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mpid-bench: marshal: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
-		if err := os.WriteFile(*out, append(body, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "mpid-bench: %v\n", err)
-			os.Exit(1)
+		res.Timestamp = time.Now().UTC().Format(time.RFC3339)
+		fmt.Print(experiments.RenderShuffleBench(res))
+		write(*out, func() ([]byte, error) { return experiments.MarshalShuffleBench(res) })
+
+	case "mpid":
+		cfg := experiments.DefaultMPIDBench()
+		if *smoke {
+			cfg = experiments.SmokeMPIDBench()
 		}
-		fmt.Printf("wrote %s\n", *out)
+		if *size > 0 {
+			cfg.SizeBytes = *size
+		}
+		if *reducers > 0 {
+			cfg.Reducers = *reducers
+		}
+		if *vocab > 0 {
+			cfg.Vocab = *vocab
+		}
+		if *reps > 0 {
+			cfg.Reps = *reps
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		res, err := experiments.RunMPIDBench(cfg)
+		if err != nil {
+			fail(err)
+		}
+		res.Timestamp = time.Now().UTC().Format(time.RFC3339)
+		fmt.Print(experiments.RenderMPIDBench(res))
+		write(*out, func() ([]byte, error) { return experiments.MarshalMPIDBench(res) })
+
+	default:
+		fail(fmt.Errorf("unknown suite %q (want shuffle or mpid)", *suite))
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "mpid-bench: %v\n", err)
+	os.Exit(1)
+}
+
+func write(path string, marshal func() ([]byte, error)) {
+	if path == "" {
+		return
+	}
+	body, err := marshal()
+	if err != nil {
+		fail(fmt.Errorf("marshal: %w", err))
+	}
+	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }

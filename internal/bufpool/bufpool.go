@@ -1,0 +1,122 @@
+// Package bufpool is the shared size-classed byte-buffer pool behind every
+// hot data path in the repository: MPI-D spill realignment (internal/core),
+// the pipelined shuffle/merge engine (internal/shuffle), the jetty shuffle
+// wire (internal/jetty) and the TCP MPI transport's frame reader
+// (internal/mpi).
+//
+// It grew out of internal/shuffle's BufferPool (PR 4), promoted to its own
+// package once the MPI-D fast path needed the same recycling on both sides
+// of the exchange: a spill serializes realigned partitions into pooled
+// buffers, the transport reads frames into pooled buffers, and the
+// receive-side merge returns consumed run buffers to the pool — so a
+// steady-state WordCount stops allocating per spill, per frame and per
+// merge pass.
+//
+// Buffers are grouped into power-of-two size classes so a Get never reuses
+// a buffer more than 2x larger than requested (which would strand memory),
+// and a slightly larger request later still hits the pool. Each class is a
+// sync.Pool, so idle buffers are released under GC pressure rather than
+// pinned forever. Hit/miss counts are kept with atomics and exported via
+// Stats for the mpid.pool.* metrics.
+//
+// A nil *Pool is valid everywhere and simply allocates, matching the
+// nil-registry contract of internal/metrics and internal/faults.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Size-class bounds. Requests below minClassBytes share the smallest class
+// (a 4 KiB buffer is cheap enough that finer classes just fragment the
+// pool); requests above maxClassBytes are allocated exactly and recycled
+// into the largest class only if they fit it.
+const (
+	minClassShift = 12 // 4 KiB
+	maxClassShift = 24 // 16 MiB
+	numClasses    = maxClassShift - minClassShift + 1
+)
+
+// Pool recycles byte buffers across spills, fetches, frame reads and merge
+// passes. Methods are safe for concurrent use. The zero value is ready.
+type Pool struct {
+	classes [numClasses]sync.Pool
+	gets    atomic.Int64
+	hits    atomic.Int64
+	puts    atomic.Int64
+}
+
+// Stats is a snapshot of a pool's traffic: Gets counts Get calls, Hits the
+// Gets served from a recycled buffer, Puts the buffers returned.
+type Stats struct {
+	Gets int64
+	Hits int64
+	Puts int64
+}
+
+// New creates an empty pool.
+func New() *Pool { return &Pool{} }
+
+// classFor returns the smallest size class holding n bytes, or -1 when n
+// exceeds the largest class.
+func classFor(n int) int {
+	if n <= 1<<minClassShift {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - minClassShift
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// Get returns a length-n buffer, reusing a pooled one when its size class
+// has a free buffer. Use b[:0] to append.
+func (p *Pool) Get(n int) []byte {
+	if p == nil {
+		return make([]byte, n)
+	}
+	p.gets.Add(1)
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if v := p.classes[c].Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= n {
+			p.hits.Add(1)
+			return b[:n]
+		}
+	}
+	return make([]byte, n, 1<<(minClassShift+c))
+}
+
+// Put returns a buffer to its size class. The caller must not use b
+// afterwards. Buffers larger than the largest class are dropped.
+func (p *Pool) Put(b []byte) {
+	if p == nil || cap(b) == 0 {
+		return
+	}
+	c := classFor(cap(b))
+	if c < 0 {
+		return
+	}
+	// A buffer is filed under the largest class it fully covers, so a Get
+	// of that class never receives a too-small buffer.
+	if cap(b) < 1<<(minClassShift+c) && c > 0 {
+		c--
+	}
+	p.puts.Add(1)
+	b = b[:0]
+	p.classes[c].Put(&b)
+}
+
+// Stats returns the pool's traffic counters.
+func (p *Pool) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	return Stats{Gets: p.gets.Load(), Hits: p.hits.Load(), Puts: p.puts.Load()}
+}

@@ -1,0 +1,102 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilPoolAllocates(t *testing.T) {
+	var p *Pool
+	b := p.Get(100)
+	if len(b) != 100 {
+		t.Fatalf("nil pool Get(100) = len %d", len(b))
+	}
+	p.Put(b) // must not panic
+	if s := p.Stats(); s != (Stats{}) {
+		t.Fatalf("nil pool stats = %+v", s)
+	}
+}
+
+func TestGetLengthAndReuse(t *testing.T) {
+	p := New()
+	b := p.Get(1000)
+	if len(b) != 1000 {
+		t.Fatalf("Get(1000) = len %d", len(b))
+	}
+	if cap(b) != 4<<10 {
+		t.Fatalf("Get(1000) cap = %d, want smallest class %d", cap(b), 4<<10)
+	}
+	p.Put(b)
+	b2 := p.Get(2000)
+	if len(b2) != 2000 {
+		t.Fatalf("Get(2000) = len %d", len(b2))
+	}
+	s := p.Stats()
+	if s.Gets != 2 || s.Hits != 1 || s.Puts != 1 {
+		t.Fatalf("stats = %+v, want 2 gets / 1 hit / 1 put", s)
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n, class int
+	}{
+		{0, 0}, {1, 0}, {4 << 10, 0}, {4<<10 + 1, 1}, {8 << 10, 1},
+		{64 << 10, 4}, {1 << 20, 8}, {16 << 20, 12}, {16<<20 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestOversizeBypassesPool(t *testing.T) {
+	p := New()
+	b := p.Get(32 << 20)
+	if len(b) != 32<<20 {
+		t.Fatalf("oversize Get = len %d", len(b))
+	}
+	p.Put(b) // dropped, not filed
+	if s := p.Stats(); s.Puts != 0 {
+		t.Fatalf("oversize Put was filed: %+v", s)
+	}
+}
+
+func TestPutSubClassCapacityNeverServedShort(t *testing.T) {
+	// A buffer whose capacity is inside a class but below the class size
+	// must be filed one class down, so a Get of the larger class cannot
+	// receive an undersized buffer.
+	p := New()
+	b := make([]byte, 0, 6<<10) // between the 4K and 8K classes
+	p.Put(b)
+	got := p.Get(8 << 10)
+	if len(got) != 8<<10 {
+		t.Fatalf("Get(8K) = len %d", len(got))
+	}
+	if cap(got) < 8<<10 {
+		t.Fatalf("Get(8K) got undersized cap %d from pool", cap(got))
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := p.Get(1 << uint(10+i%8))
+				for j := range b {
+					b[j] = byte(j)
+				}
+				p.Put(b)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := p.Stats(); s.Gets != 4000 || s.Puts != 4000 {
+		t.Fatalf("stats = %+v, want 4000 gets/puts", s)
+	}
+}

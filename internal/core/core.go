@@ -36,8 +36,11 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/ict-repro/mpid/internal/bufpool"
 	"github.com/ict-repro/mpid/internal/kv"
+	"github.com/ict-repro/mpid/internal/metrics"
 	"github.com/ict-repro/mpid/internal/mpi"
+	"github.com/ict-repro/mpid/internal/trace"
 )
 
 // Reserved user tags for MPI-D traffic on the underlying communicator.
@@ -94,6 +97,32 @@ type Config struct {
 	// constant reducer memory, but a key may be delivered more than once
 	// (with disjoint value lists), as in the paper's streaming reducer.
 	Streaming bool
+
+	// LegacySend selects the original map-based send buffer (one
+	// allocation per pair, map rebuilt per spill) instead of the arena
+	// buffer. Kept as the A/B baseline; the two produce byte-identical
+	// spill streams.
+	LegacySend bool
+	// LegacyGroup selects the original grouped receive drain — buffer
+	// every fragment, sort once, drain — instead of the streaming k-way
+	// merge. Kept as the A/B baseline; the two produce byte-identical
+	// Recv streams.
+	LegacyGroup bool
+	// MergeFactor is the grouped receiver's merge fan-in: a background
+	// pass folds the oldest MergeFactor runs whenever that many are
+	// pending. Default 10.
+	MergeFactor int
+	// Pool supplies partition serialization buffers on the send side and
+	// recycles consumed merge runs on the receive side (when the transport
+	// does not bring its own pool). Optional; nil allocates.
+	Pool *bufpool.Pool
+	// Metrics, when set, receives the mpid.spill / mpid.realign /
+	// mpid.recv.merge timers and the mpid.* arena/pool counters.
+	Metrics *metrics.Registry
+	// Tracer, when set, records spill/realign/merge spans under TraceCtx.
+	Tracer *trace.Tracer
+	// TraceCtx is the parent span context for recorded spans.
+	TraceCtx trace.Context
 }
 
 // Counters expose what the library did, for tests, the harness and the
@@ -121,13 +150,21 @@ type D struct {
 	isReducer bool
 
 	// Send side.
-	buf       *hashBuffer
-	pending   []*mpi.Request // in-flight Isends (Async mode)
-	sendOpen  bool
-	finalized bool
+	buf        sendBuffer
+	partBufs   [][]byte       // partition buffers retained across spills
+	reuseParts bool           // transport copies payloads, so retaining is safe
+	pending    []*mpi.Request // in-flight Isends (Async mode)
+	sendOpen   bool
+	finalized  bool
 
 	// Receive side.
 	recvState *receiver
+
+	// Observability (all nil-safe when Config.Metrics is unset).
+	spillTimer   *metrics.Timer
+	realignTimer *metrics.Timer
+	mergeTimer   *metrics.Timer
+	partReuse    *metrics.Counter
 
 	counters Counters
 }
@@ -181,8 +218,20 @@ func Init(cfg Config) (*D, error) {
 		isReducer: inReducers[rank],
 		sendOpen:  inSenders[rank],
 	}
+	d.spillTimer = cfg.Metrics.Timer("mpid.spill")
+	d.realignTimer = cfg.Metrics.Timer("mpid.realign")
+	d.mergeTimer = cfg.Metrics.Timer("mpid.recv.merge")
+	d.partReuse = cfg.Metrics.Counter("mpid.spill.partbuf.reused")
 	if d.isSender {
-		d.buf = newHashBuffer()
+		if cfg.LegacySend {
+			d.buf = newHashBuffer()
+		} else {
+			d.buf = newArenaBuffer()
+		}
+		// Partition buffers may only be retained across spills when the
+		// transport copies payloads before send returns (TCP); the
+		// in-process transport hands the slice itself to the receiver.
+		d.reuseParts = cfg.Comm.SendCopies()
 	}
 	if d.isReducer {
 		d.recvState = newReceiver(d)
@@ -213,6 +262,17 @@ func (d *D) Finalize() error {
 	}
 	if err := d.CloseSend(); err != nil {
 		return err
+	}
+	// Return retained partition buffers and publish pool effectiveness.
+	for _, b := range d.partBufs {
+		d.cfg.Pool.Put(b)
+	}
+	d.partBufs = nil
+	if d.cfg.Pool != nil {
+		s := d.cfg.Pool.Stats()
+		d.cfg.Metrics.Gauge("mpid.pool.gets").Set(s.Gets)
+		d.cfg.Metrics.Gauge("mpid.pool.hits").Set(s.Hits)
+		d.cfg.Metrics.Gauge("mpid.pool.puts").Set(s.Puts)
 	}
 	d.finalized = true
 	return nil

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/ict-repro/mpid/internal/faults"
+	"github.com/ict-repro/mpid/internal/kv"
+	"github.com/ict-repro/mpid/internal/mpi"
+)
+
+// ---------------------------------------------------------------------------
+// Send-buffer accounting (satellite: incremental byte accounting regression)
+
+// truePayload recomputes a buffer's payload byte count the slow way: each
+// key once plus every buffered value.
+func truePayload(t *testing.T, b sendBuffer) int {
+	t.Helper()
+	total := 0
+	err := b.forEachSorted(func(key []byte, values [][]byte) error {
+		total += len(key)
+		for _, v := range values {
+			total += len(v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+func TestSendBufferAccountingAcrossCombineAndSpillCycles(t *testing.T) {
+	impls := map[string]func() sendBuffer{
+		"arena":  func() sendBuffer { return newArenaBuffer() },
+		"legacy": func() sendBuffer { return newHashBuffer() },
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			b := mk()
+			// Three fill/spill cycles; the hot key crosses combineEvery
+			// several times per cycle, so the incremental combiner's
+			// accounting adjustments are exercised repeatedly.
+			for cycle := 0; cycle < 3; cycle++ {
+				for i := 0; i < 3*combineEvery; i++ {
+					key := []byte(fmt.Sprintf("key-%d", i%5))
+					if i%2 == 0 {
+						key = []byte("hot")
+					}
+					b.add(key, kv.AppendVLong(nil, int64(i%9+1)), sumCombiner)
+					if i%257 == 0 {
+						if got, want := b.bytes(), truePayload(t, b); got != want {
+							t.Fatalf("cycle %d pair %d: bytes() = %d, true payload %d", cycle, i, got, want)
+						}
+					}
+				}
+				if got, want := b.bytes(), truePayload(t, b); got != want {
+					t.Fatalf("cycle %d end: bytes() = %d, true payload %d", cycle, got, want)
+				}
+				b.reset()
+				if b.bytes() != 0 || !b.empty() {
+					t.Fatalf("cycle %d: reset left bytes=%d empty=%v", cycle, b.bytes(), b.empty())
+				}
+			}
+		})
+	}
+}
+
+func TestArenaBufferGrowAndChains(t *testing.T) {
+	b := newArenaBuffer()
+	// Far more distinct keys than the initial slot table holds.
+	const keys = 10 * arenaInitSlots
+	for round := 0; round < 3; round++ {
+		for i := 0; i < keys; i++ {
+			b.add([]byte(fmt.Sprintf("key-%05d", i)), []byte{byte(round)}, nil)
+		}
+	}
+	seen := 0
+	prev := []byte(nil)
+	err := b.forEachSorted(func(key []byte, values [][]byte) error {
+		if prev != nil && bytes.Compare(prev, key) >= 0 {
+			return fmt.Errorf("keys out of order: %q then %q", prev, key)
+		}
+		prev = append(prev[:0], key...)
+		if len(values) != 3 {
+			return fmt.Errorf("key %q has %d values, want 3", key, len(values))
+		}
+		for round, v := range values {
+			if len(v) != 1 || v[0] != byte(round) {
+				return fmt.Errorf("key %q value %d = %v (chain order broken)", key, round, v)
+			}
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != keys {
+		t.Fatalf("iterated %d keys, want %d", seen, keys)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Typed unexpected-tag error (satellite)
+
+func TestUnexpectedTagReturnsTypedError(t *testing.T) {
+	var recvErr error
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		d, err := Init(Config{Comm: c, Reducers: []int{0}, Senders: []int{1}})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			if err := d.Send([]byte("alpha"), kv.AppendVLong(nil, 1)); err != nil {
+				return err
+			}
+			if err := d.Flush(); err != nil {
+				return err
+			}
+			// A stray, off-protocol message lands mid-stream, before the
+			// Done marker.
+			if err := c.Send(0, 7777, []byte("not mpid traffic")); err != nil {
+				return err
+			}
+			return d.Finalize()
+		}
+		for {
+			_, _, err := d.Recv()
+			if err == io.EOF {
+				return errors.New("reducer reached EOF without seeing the stray tag")
+			}
+			if err != nil {
+				recvErr = err
+				return nil // swallow so mpi.Run reports no error; we assert below
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tagErr *UnexpectedTagError
+	if !errors.As(recvErr, &tagErr) {
+		t.Fatalf("Recv error = %v, want *UnexpectedTagError", recvErr)
+	}
+	if tagErr.Tag != 7777 || tagErr.Source != 1 {
+		t.Fatalf("typed error = %+v, want tag 7777 from rank 1", tagErr)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Optimized-vs-legacy equivalence (satellite)
+
+// streamEntry is one Recv result with its bytes deep-copied out of the
+// library's buffers.
+type streamEntry struct {
+	key    []byte
+	values [][]byte
+}
+
+// collectStreams runs one MPI-D exchange and captures every reducer's exact
+// Recv stream, in order.
+func collectStreams(t *testing.T, cfg Config, nRanks int, pairsBySender map[int][]kv.Pair) map[int][]streamEntry {
+	t.Helper()
+	streams := make(map[int][]streamEntry)
+	var mu sync.Mutex
+	err := mpi.Run(nRanks, func(c *mpi.Comm) error {
+		local := cfg
+		local.Comm = c
+		d, err := Init(local)
+		if err != nil {
+			return err
+		}
+		if d.IsSender() {
+			for _, p := range pairsBySender[c.Rank()] {
+				if err := d.SendPair(p); err != nil {
+					return err
+				}
+			}
+			if err := d.CloseSend(); err != nil {
+				return err
+			}
+		}
+		if d.IsReducer() {
+			var local []streamEntry
+			for {
+				key, values, err := d.Recv()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return err
+				}
+				e := streamEntry{key: append([]byte(nil), key...)}
+				for _, v := range values {
+					e.values = append(e.values, append([]byte(nil), v...))
+				}
+				local = append(local, e)
+			}
+			mu.Lock()
+			streams[c.Rank()] = local
+			mu.Unlock()
+		}
+		return d.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return streams
+}
+
+func streamsEqual(t *testing.T, legacy, fast map[int][]streamEntry) {
+	t.Helper()
+	if len(legacy) != len(fast) {
+		t.Fatalf("reducer count: legacy %d, fast %d", len(legacy), len(fast))
+	}
+	for rank, ls := range legacy {
+		fs := fast[rank]
+		if len(ls) != len(fs) {
+			t.Fatalf("rank %d: legacy emitted %d entries, fast %d", rank, len(ls), len(fs))
+		}
+		for i := range ls {
+			if !bytes.Equal(ls[i].key, fs[i].key) {
+				t.Fatalf("rank %d entry %d: key %q vs %q", rank, i, ls[i].key, fs[i].key)
+			}
+			if len(ls[i].values) != len(fs[i].values) {
+				t.Fatalf("rank %d key %q: %d values vs %d", rank, ls[i].key, len(ls[i].values), len(fs[i].values))
+			}
+			for j := range ls[i].values {
+				if !bytes.Equal(ls[i].values[j], fs[i].values[j]) {
+					t.Fatalf("rank %d key %q value %d: %x vs %x", rank, ls[i].key, j, ls[i].values[j], fs[i].values[j])
+				}
+			}
+		}
+	}
+}
+
+// genPairs produces a deterministic workload with hot keys (deep combiner
+// folds), a long key tail and varied values.
+func genPairs(n int, salt byte) []kv.Pair {
+	pairs := make([]kv.Pair, n)
+	for i := range pairs {
+		var key []byte
+		switch {
+		case i%3 == 0:
+			key = []byte("hot")
+		case i%3 == 1:
+			key = []byte(fmt.Sprintf("warm-%d", i%7))
+		default:
+			key = []byte(fmt.Sprintf("cold-%04d", i))
+		}
+		pairs[i] = kv.Pair{Key: key, Value: kv.AppendVLong(nil, int64(int(salt)+i%11+1))}
+	}
+	return pairs
+}
+
+// TestGroupedStreamByteIdentical drives the same single-sender workload
+// through the legacy core (LegacySend + LegacyGroup) and the optimized core
+// and requires the reducer-visible Recv streams to match byte for byte. A
+// single sender makes arrival order deterministic (per-pair FIFO), so this
+// is an exact check; the tiny spill threshold forces many runs and the
+// small merge factor forces background ordered passes.
+func TestGroupedStreamByteIdentical(t *testing.T) {
+	variants := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"plain", func(c *Config) {}},
+		{"combiner", func(c *Config) { c.Combiner = sumCombiner }},
+		{"sortValues", func(c *Config) { c.SortValues = true }},
+		{"combiner+sortValues", func(c *Config) { c.Combiner = sumCombiner; c.SortValues = true }},
+		{"async", func(c *Config) { c.Async = true }},
+	}
+	pairs := map[int][]kv.Pair{1: genPairs(4000, 3)}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			base := Config{Reducers: []int{0}, Senders: []int{1}, SpillThreshold: 512, MergeFactor: 3}
+			v.mut(&base)
+			legacyCfg := base
+			legacyCfg.LegacySend, legacyCfg.LegacyGroup = true, true
+			legacy := collectStreams(t, legacyCfg, 2, pairs)
+			fast := collectStreams(t, base, 2, pairs)
+			streamsEqual(t, legacy, fast)
+		})
+	}
+}
+
+// TestStreamingStreamByteIdentical checks the arena send buffer against the
+// legacy one in streaming mode: fragments must arrive in the same order
+// with the same bytes, since both paths serialize spills in sorted key
+// order and a single sender's messages are FIFO.
+func TestStreamingStreamByteIdentical(t *testing.T) {
+	pairs := map[int][]kv.Pair{1: genPairs(3000, 5)}
+	base := Config{Reducers: []int{0}, Senders: []int{1}, SpillThreshold: 768, Streaming: true, Combiner: sumCombiner}
+	legacyCfg := base
+	legacyCfg.LegacySend = true
+	legacy := collectStreams(t, legacyCfg, 2, pairs)
+	fast := collectStreams(t, base, 2, pairs)
+	streamsEqual(t, legacy, fast)
+}
+
+// TestGroupedMultiSenderAggregateEquivalent compares legacy and optimized
+// cores under concurrent senders. Arrival order across senders is racy, so
+// the per-key value order is not deterministic; keys (sorted, exactly once)
+// and per-key value multisets must still agree.
+func TestGroupedMultiSenderAggregateEquivalent(t *testing.T) {
+	pairs := map[int][]kv.Pair{2: genPairs(2500, 1), 3: genPairs(2500, 9), 4: genPairs(1000, 4)}
+	base := Config{Reducers: []int{0, 1}, Senders: []int{2, 3, 4}, SpillThreshold: 1024, MergeFactor: 3, Combiner: sumCombiner}
+	legacyCfg := base
+	legacyCfg.LegacySend, legacyCfg.LegacyGroup = true, true
+	legacy := collectStreams(t, legacyCfg, 5, pairs)
+	fast := collectStreams(t, base, 5, pairs)
+
+	normalize := func(streams map[int][]streamEntry) map[string][]string {
+		out := make(map[string][]string)
+		for rank, entries := range streams {
+			for _, e := range entries {
+				k := fmt.Sprintf("%d/%s", rank, e.key)
+				if _, dup := out[k]; dup {
+					t.Fatalf("rank %d emitted key %q twice", rank, e.key)
+				}
+				var vs []string
+				for _, v := range e.values {
+					vs = append(vs, string(v))
+				}
+				sortStringsStable(vs)
+				out[k] = vs
+			}
+		}
+		return out
+	}
+	l, f := normalize(legacy), normalize(fast)
+	if len(l) != len(f) {
+		t.Fatalf("distinct (rank, key) count: legacy %d, fast %d", len(l), len(f))
+	}
+	for k, lv := range l {
+		fv := f[k]
+		if len(lv) != len(fv) {
+			t.Fatalf("%s: %d values vs %d", k, len(lv), len(fv))
+		}
+		for i := range lv {
+			if lv[i] != fv[i] {
+				t.Fatalf("%s value %d: %x vs %x", k, i, lv[i], fv[i])
+			}
+		}
+	}
+}
+
+func sortStringsStable(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TCP faults: the fast path keeps PR 1's retry semantics (satellite)
+
+// TestFastPathTCPFaultRetry injects a one-shot write fault under an MPI-D
+// exchange over the real TCP transport: the sender's flush must surface the
+// injected error (not silently lose the frame), and re-sending over the
+// same world must redial and deliver everything — the transport retry
+// semantics PR 1 established, now exercised through the pooled
+// eager/rendezvous write path.
+func TestFastPathTCPFaultRetry(t *testing.T) {
+	sizes := []struct {
+		name    string
+		valSize int
+	}{
+		{"eager", 8},             // whole spill below the rendezvous threshold
+		{"rendezvous", 96 << 10}, // single value forces the direct-write path
+	}
+	for _, sz := range sizes {
+		t.Run(sz.name, func(t *testing.T) {
+			inj := faults.New(1, faults.Rule{Component: "mpi.rank1", Operation: "write", Until: 1, Action: faults.Drop})
+			w, err := mpi.NewTCPWorldWithFaults(2, inj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+
+			value := bytes.Repeat([]byte{0xAB}, sz.valSize)
+			var got int
+			var wg sync.WaitGroup
+			wg.Add(1)
+			errCh := make(chan error, 2)
+			go func() { // reducer, rank 0
+				defer wg.Done()
+				d, err := Init(Config{Comm: w.Comm(0), Reducers: []int{0}, Senders: []int{1}})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for {
+					_, values, err := d.Recv()
+					if err == io.EOF {
+						return
+					}
+					if err != nil {
+						errCh <- err
+						return
+					}
+					got += len(values)
+				}
+			}()
+
+			d, err := Init(Config{Comm: w.Comm(1), Reducers: []int{0}, Senders: []int{1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			send := func() error {
+				for i := 0; i < 5; i++ {
+					if err := d.Send([]byte(fmt.Sprintf("key-%d", i)), value); err != nil {
+						return err
+					}
+				}
+				return d.Flush()
+			}
+			// First attempt: the injected drop must surface as an error.
+			if err := send(); !faults.IsInjected(err) {
+				t.Fatalf("first send attempt: err = %v, want injected fault", err)
+			}
+			// Retry on the same world: the transport redials and delivers.
+			if err := send(); err != nil {
+				t.Fatalf("retry after injected fault: %v", err)
+			}
+			if err := d.Finalize(); err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+			if got != 5 {
+				t.Fatalf("reducer received %d pairs, want the 5 retried ones", got)
+			}
+		})
+	}
+}

@@ -4,10 +4,30 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mpi"
+	"github.com/ict-repro/mpid/internal/shuffle"
+	"github.com/ict-repro/mpid/internal/trace"
 )
+
+// UnexpectedTagError reports a message on the MPI-D communicator whose tag
+// is neither DataTag nor DoneTag — some other protocol is leaking onto the
+// communicator MPI-D was given. The receiver surfaces it as a typed error
+// so callers can tell protocol contamination apart from transport failures.
+type UnexpectedTagError struct {
+	// Tag is the offending message's tag.
+	Tag int
+	// Source is the communicator rank that sent it.
+	Source int
+	// Size is the dropped payload's length in bytes.
+	Size int
+}
+
+func (e *UnexpectedTagError) Error() string {
+	return fmt.Sprintf("mpid: unexpected tag %d from rank %d (%d bytes dropped)", e.Tag, e.Source, e.Size)
+}
 
 // receiver is the reducer-side state behind Recv: wildcard reception,
 // reverse realignment and (in grouped mode) the cross-mapper merge.
@@ -21,19 +41,56 @@ type receiver struct {
 	// in order.
 	fragments []kv.KeyList
 
-	// Grouped mode: accumulated merge table, then a sorted drain.
+	// Legacy grouped mode (Config.LegacyGroup): accumulated merge table,
+	// then a sorted drain.
 	groups   map[string][][]byte
 	order    []string
 	drained  bool
 	drainPos int
+
+	// Merged grouped mode (default): every received partition buffer is a
+	// sorted run; the shuffle merge engine folds runs in the background
+	// while reception is still in flight, and the final k-way pass streams
+	// key groups through out while the reduce function consumes them.
+	merger   *shuffle.Merger
+	nextSeq  int
+	out      chan kv.KeyList
+	started  bool
+	mergeErr error
 }
 
 func newReceiver(d *D) *receiver {
-	return &receiver{
+	r := &receiver{
 		d:           d,
 		sendersLeft: len(d.cfg.Senders),
-		groups:      make(map[string][][]byte),
 	}
+	switch {
+	case d.cfg.Streaming:
+	case d.cfg.LegacyGroup:
+		r.groups = make(map[string][][]byte)
+	default:
+		// Recycle consumed run buffers into the transport's read pool when
+		// there is one (TCP), closing the frame-read allocation loop;
+		// otherwise into the instance pool. Final-pass buffers are never
+		// recycled — the emitted slices alias them.
+		pool := d.comm.RecvBufferPool()
+		if pool == nil {
+			pool = d.cfg.Pool
+		}
+		r.merger = shuffle.NewMerger(shuffle.Config{
+			Factor:  d.cfg.MergeFactor,
+			Pool:    pool,
+			Ordered: true,
+			OnPass: func(info shuffle.PassInfo) {
+				d.mergeTimer.ObserveDuration(info.Duration)
+				d.cfg.Tracer.Record(d.cfg.TraceCtx, "mpid.recv.merge", trace.KindMerge,
+					info.Start, info.Start.Add(info.Duration),
+					trace.Annotation{Key: "runs", Value: fmt.Sprint(info.Runs)},
+					trace.Annotation{Key: "bytes_in", Value: fmt.Sprint(info.BytesIn)})
+			},
+		})
+	}
+	return r
 }
 
 // Recv returns the next key with its value list — MPI_D_Recv. Reducers call
@@ -48,10 +105,14 @@ func (d *D) Recv() ([]byte, [][]byte, error) {
 	if !d.isReducer {
 		return nil, nil, fmt.Errorf("mpid: rank %d is not a reducer", d.comm.Rank())
 	}
-	if d.cfg.Streaming {
+	switch {
+	case d.cfg.Streaming:
 		return d.recvState.nextStreaming()
+	case d.cfg.LegacyGroup:
+		return d.recvState.nextGroupedLegacy()
+	default:
+		return d.recvState.nextGroupedMerged()
 	}
-	return d.recvState.nextGrouped()
 }
 
 // RecvKeyList is Recv returning a kv.KeyList.
@@ -62,7 +123,7 @@ func (d *D) RecvKeyList() (kv.KeyList, error) {
 
 // receiveMessage blocks for the next MPI-D message in the wildcard
 // reception style of §IV.A. It returns false when end-of-stream is reached
-// (all senders done).
+// (all senders done). An off-protocol tag yields an *UnexpectedTagError.
 func (r *receiver) receiveMessage() (data []byte, more bool, err error) {
 	for r.sendersLeft > 0 {
 		// Wildcard: "each reducer adopts the MPI_Recv primitive in the
@@ -77,7 +138,7 @@ func (r *receiver) receiveMessage() (data []byte, more bool, err error) {
 		case DoneTag:
 			r.sendersLeft--
 		default:
-			return nil, false, fmt.Errorf("mpid: unexpected tag %d from rank %d", st.Tag, st.Source)
+			return nil, false, &UnexpectedTagError{Tag: st.Tag, Source: st.Source, Size: len(payload)}
 		}
 	}
 	return nil, false, nil
@@ -120,8 +181,9 @@ func (r *receiver) nextStreaming() ([]byte, [][]byte, error) {
 	return f.Key, f.Values, nil
 }
 
-// nextGrouped merges everything first, then drains keys in sorted order.
-func (r *receiver) nextGrouped() ([]byte, [][]byte, error) {
+// nextGroupedLegacy buffers everything first, then drains keys in sorted
+// order — the pre-merge drain, kept as the A/B baseline (Config.LegacyGroup).
+func (r *receiver) nextGroupedLegacy() ([]byte, [][]byte, error) {
 	if !r.drained {
 		for {
 			data, more, err := r.receiveMessage()
@@ -154,4 +216,53 @@ func (r *receiver) nextGrouped() ([]byte, [][]byte, error) {
 	values := r.groups[k]
 	delete(r.groups, k) // release as we stream out
 	return []byte(k), values, nil
+}
+
+// nextGroupedMerged is the streaming grouped drain: each received partition
+// buffer is a sorted run (spill serializes in sorted key order) handed to
+// the merge engine, whose background passes fold runs while reception is
+// still in flight. Once every sender is done, the final k-way pass runs in
+// its own goroutine and streams key groups through a channel, so reduce
+// computation overlaps the tail of the merge. Equal keys concatenate their
+// values in run-arrival order (Ordered merger), which keeps the stream
+// byte-identical with the legacy drain.
+func (r *receiver) nextGroupedMerged() ([]byte, [][]byte, error) {
+	if !r.started {
+		for {
+			data, more, err := r.receiveMessage()
+			if err != nil {
+				return nil, nil, err
+			}
+			if !more {
+				break
+			}
+			r.merger.Add(r.nextSeq, data)
+			r.nextSeq++
+		}
+		r.out = make(chan kv.KeyList, 64)
+		mergeStart := time.Now()
+		go func() {
+			defer close(r.out)
+			r.mergeErr = r.merger.Merge(func(kl kv.KeyList) error {
+				r.out <- kl
+				return nil
+			})
+			d := r.d
+			d.mergeTimer.ObserveDuration(time.Since(mergeStart))
+			d.cfg.Tracer.Record(d.cfg.TraceCtx, "mpid.recv.merge", trace.KindMerge,
+				mergeStart, time.Now(), trace.Annotation{Key: "pass", Value: "final"})
+		}()
+		r.started = true
+	}
+	kl, ok := <-r.out
+	if !ok {
+		// Channel closed: r.mergeErr was written before close, so the
+		// receive above orders the read after the write.
+		if r.mergeErr != nil {
+			return nil, nil, r.mergeErr
+		}
+		return nil, nil, io.EOF
+	}
+	r.d.counters.PairsReceived += int64(len(kl.Values))
+	return kl.Key, kl.Values, nil
 }

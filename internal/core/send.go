@@ -3,22 +3,30 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"time"
 
 	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mpi"
+	"github.com/ict-repro/mpid/internal/trace"
 )
 
-// hashBuffer is the mapper-side hash table of §IV.A: Send buffers pairs
+// sendBuffer is the mapper-side hash table of §IV.A: Send buffers pairs
 // here, grouped by key, so the combiner can merge values locally before
-// anything is serialized or transmitted.
-type hashBuffer struct {
-	groups map[string][][]byte // key -> value list (insertion grouped)
-	keys   []string            // insertion order, for deterministic spills
-	bytes  int                 // payload bytes buffered
-}
-
-func newHashBuffer() *hashBuffer {
-	return &hashBuffer{groups: make(map[string][][]byte)}
+// anything is serialized or transmitted. Two implementations exist: the
+// arenaBuffer fast path and the legacy map-based hashBuffer, kept behind
+// Config.LegacySend as the A/B baseline.
+type sendBuffer interface {
+	// add buffers one pair (copying key and value) and returns how many
+	// pairs the incremental combiner eliminated.
+	add(key, value []byte, combine CombineFunc) int64
+	// bytes is the buffered payload size SpillThreshold is compared against.
+	bytes() int
+	empty() bool
+	reset()
+	// forEachSorted yields each key with its buffered values, keys in
+	// lexicographic order; yielded slices are only valid inside the callback.
+	forEachSorted(fn func(key []byte, values [][]byte) error) error
 }
 
 // combineEvery bounds a key's in-buffer value list: once it reaches this
@@ -28,41 +36,73 @@ func newHashBuffer() *hashBuffer {
 // cheap ("the aim of combining is to reduce the memory consuming").
 const combineEvery = 256
 
-// add buffers one pair; it returns how many pairs the incremental combiner
-// eliminated (0 without a combiner).
+// legacyGroup is one key's buffered values plus their running byte total,
+// so the incremental combiner adjusts accounting in O(result) instead of
+// re-walking the whole list on every fold.
+type legacyGroup struct {
+	values [][]byte
+	vbytes int
+}
+
+// hashBuffer is the legacy map-based send buffer (Config.LegacySend). It
+// pays an allocation per pair and a map rebuild per spill; the arenaBuffer
+// replaces it as the default.
+type hashBuffer struct {
+	groups  map[string]*legacyGroup
+	keys    []string // insertion order; sorted at spill
+	payload int
+}
+
+func newHashBuffer() *hashBuffer {
+	return &hashBuffer{groups: make(map[string]*legacyGroup)}
+}
+
 func (b *hashBuffer) add(key, value []byte, combine CombineFunc) int64 {
 	k := string(key)
-	vs, ok := b.groups[k]
+	g, ok := b.groups[k]
 	if !ok {
+		g = &legacyGroup{}
+		b.groups[k] = g
 		b.keys = append(b.keys, k)
-		b.bytes += len(key)
+		b.payload += len(key)
 	}
 	// Values are copied: Send promises the caller its buffers are free to
 	// reuse on return, which the examples rely on when scanning input.
-	vs = append(vs, append([]byte(nil), value...))
-	b.bytes += len(value)
+	g.values = append(g.values, append([]byte(nil), value...))
+	g.vbytes += len(value)
+	b.payload += len(value)
 	var combined int64
-	if combine != nil && len(vs) >= combineEvery {
-		oldLen, oldBytes := len(vs), 0
-		for _, v := range vs {
-			oldBytes += len(v)
-		}
-		vs = combine([]byte(k), vs)
+	if combine != nil && len(g.values) >= combineEvery {
+		oldLen, oldBytes := len(g.values), g.vbytes
+		g.values = combine([]byte(k), g.values)
 		newBytes := 0
-		for _, v := range vs {
+		for _, v := range g.values {
 			newBytes += len(v)
 		}
-		b.bytes += newBytes - oldBytes
-		combined = int64(oldLen - len(vs))
+		g.vbytes = newBytes
+		b.payload += newBytes - oldBytes
+		combined = int64(oldLen - len(g.values))
 	}
-	b.groups[k] = vs
 	return combined
 }
 
+func (b *hashBuffer) bytes() int  { return b.payload }
+func (b *hashBuffer) empty() bool { return len(b.keys) == 0 }
+
 func (b *hashBuffer) reset() {
-	b.groups = make(map[string][][]byte)
+	b.groups = make(map[string]*legacyGroup)
 	b.keys = b.keys[:0]
-	b.bytes = 0
+	b.payload = 0
+}
+
+func (b *hashBuffer) forEachSorted(fn func(key []byte, values [][]byte) error) error {
+	sort.Strings(b.keys)
+	for _, k := range b.keys {
+		if err := fn([]byte(k), b.groups[k].values); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Send buffers one key-value pair for delivery to the reducer owning its
@@ -80,7 +120,7 @@ func (d *D) Send(key, value []byte) error {
 	}
 	d.counters.PairsCombined += d.buf.add(key, value, d.cfg.Combiner)
 	d.counters.PairsSent++
-	if d.buf.bytes >= d.cfg.SpillThreshold {
+	if d.buf.bytes() >= d.cfg.SpillThreshold {
 		return d.spill()
 	}
 	return nil
@@ -92,26 +132,31 @@ func (d *D) SendPair(p kv.Pair) error { return d.Send(p.Key, p.Value) }
 // spill drains the hash table: combine, partition, realign, transmit. This
 // is the heart of MPI-D — it converts the discrete, variable-size key-value
 // world into the contiguous fixed-layout buffers MPI moves efficiently.
+//
+// Partitions are serialized in sorted key order, making every shipped
+// buffer a sorted run — the invariant the receive-side k-way merge builds
+// on. Partition buffers come from Config.Pool and, when the transport
+// copies payloads (TCP), are retained and reused across spills.
 func (d *D) spill() error {
-	if d.buf.bytes == 0 && len(d.buf.keys) == 0 {
+	if d.buf.empty() {
 		return nil
 	}
 	d.counters.Spills++
 
 	// In Async mode, complete the previous spill's sends first so at most
-	// one spill is in flight — bounded memory, still overlapped.
+	// one spill is in flight — bounded memory, still overlapped. This also
+	// makes partition-buffer reuse safe: no Isend still reads them.
 	if err := d.completePending(); err != nil {
 		return err
 	}
 
+	spillStart := time.Now()
 	nParts := d.numPartitions()
+	parts := d.takePartBufs(nParts)
+
 	// Realignment: serialize each key's (possibly combined) value list
-	// into its partition's contiguous buffer, in insertion order for
-	// determinism.
-	parts := make([][]byte, nParts)
-	for _, k := range d.buf.keys {
-		key := []byte(k)
-		values := d.buf.groups[k]
+	// into its partition's contiguous buffer, in sorted key order.
+	err := d.buf.forEachSorted(func(key []byte, values [][]byte) error {
 		if d.cfg.Combiner != nil {
 			before := len(values)
 			values = d.cfg.Combiner(key, values)
@@ -125,8 +170,14 @@ func (d *D) spill() error {
 			return fmt.Errorf("mpid: partitioner returned %d for %d partitions", p, nParts)
 		}
 		parts[p] = kv.AppendKeyList(parts[p], kv.KeyList{Key: key, Values: values})
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	d.buf.reset()
+	realignEnd := time.Now()
+	d.realignTimer.ObserveDuration(realignEnd.Sub(spillStart))
 
 	for p, data := range parts {
 		if len(data) == 0 {
@@ -143,7 +194,40 @@ func (d *D) spill() error {
 			return err
 		}
 	}
+	if d.reuseParts {
+		// The transport copied every payload (and Async completes pending
+		// sends before the next realign), so the buffers are ours again.
+		d.partBufs = parts
+		d.partReuse.Add(int64(nParts))
+	}
+	end := time.Now()
+	d.spillTimer.ObserveDuration(end.Sub(spillStart))
+	if d.cfg.Tracer != nil {
+		d.cfg.Tracer.Record(d.cfg.TraceCtx, "mpid.realign", trace.KindMerge, spillStart, realignEnd)
+		d.cfg.Tracer.Record(d.cfg.TraceCtx, "mpid.spill", trace.KindMerge, spillStart, end)
+	}
 	return nil
+}
+
+// takePartBufs returns nParts empty partition buffers: the retained ones
+// from the previous spill when the transport allows reuse, fresh pool
+// buffers otherwise (ownership then transfers with the message).
+func (d *D) takePartBufs(nParts int) [][]byte {
+	parts := d.partBufs
+	d.partBufs = nil
+	if len(parts) == nParts {
+		for i := range parts {
+			parts[i] = parts[i][:0]
+		}
+		return parts
+	}
+	parts = make([][]byte, nParts)
+	if est := d.buf.bytes()/nParts + 512; d.cfg.Pool != nil {
+		for i := range parts {
+			parts[i] = d.cfg.Pool.Get(est)[:0]
+		}
+	}
+	return parts
 }
 
 // Flush forces a spill of whatever is buffered, without closing the stream.

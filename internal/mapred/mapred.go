@@ -15,6 +15,7 @@ import (
 	"io"
 	"sort"
 
+	"github.com/ict-repro/mpid/internal/bufpool"
 	"github.com/ict-repro/mpid/internal/core"
 	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mpi"
@@ -85,6 +86,13 @@ type Job struct {
 	SpillThreshold int
 	SortValues     bool
 	Async          bool
+	// LegacySend and LegacyGroup select MPI-D's pre-optimization send
+	// buffer and grouped drain (core.Config knobs of the same names) — the
+	// A/B baseline the mpidbench harness measures the fast path against.
+	LegacySend  bool
+	LegacyGroup bool
+	// Pool passes a shared buffer pool through to core.Config.Pool.
+	Pool *bufpool.Pool
 	// MaxTaskAttempts is how many times a failing map task is retried
 	// before the job fails (mapred.map.max.attempts; Hadoop defaults to
 	// 4). Values < 2 disable retries. With retries enabled, a task's
@@ -183,6 +191,9 @@ func Run(job Job, splits []Split, nMappers int) (*Result, error) {
 			SpillThreshold: job.SpillThreshold,
 			SortValues:     job.SortValues,
 			Async:          job.Async,
+			LegacySend:     job.LegacySend,
+			LegacyGroup:    job.LegacyGroup,
+			Pool:           job.Pool,
 		}
 		d, err := core.Init(cfg)
 		if err != nil {

@@ -1,0 +1,63 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkTCPRoundtrip ping-pongs one message over the loopback TCP
+// transport, crossing the eager/rendezvous threshold as the size sweeps.
+// allocs/op is the number to watch: pooled frame reads mean the receive
+// side should not allocate per message once the pool is warm (the payload
+// is Put back after each hop, as MPI-D's merge receiver does).
+func BenchmarkTCPRoundtrip(b *testing.B) {
+	for _, size := range []int{1 << 10, 32 << 10, 256 << 10} {
+		b.Run(fmt.Sprintf("%dKB", size>>10), func(b *testing.B) {
+			w, err := NewTCPWorld(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			c0, c1 := w.Comm(0), w.Comm(1)
+			pool := c0.RecvBufferPool()
+			done := make(chan error, 1)
+			go func() {
+				for {
+					data, _, err := c1.Recv(0, AnyTag)
+					if err != nil {
+						done <- nil // world closed: benchmark over
+						return
+					}
+					stop := data[0] == 1
+					err = c1.Send(0, 1, data[:1])
+					pool.Put(data)
+					if err != nil || stop {
+						done <- err
+						return
+					}
+				}
+			}()
+			payload := make([]byte, size)
+			b.ReportAllocs()
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i == b.N-1 {
+					payload[0] = 1 // tell the echo goroutine to stop
+				}
+				if err := c0.Send(1, 1, payload); err != nil {
+					b.Fatal(err)
+				}
+				ack, _, err := c0.Recv(1, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pool.Put(ack)
+			}
+			b.StopTimer()
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -23,6 +23,8 @@ package mpi
 import (
 	"errors"
 	"fmt"
+
+	"github.com/ict-repro/mpid/internal/bufpool"
 )
 
 // Wildcards for Recv/Probe envelope matching.
@@ -87,4 +89,13 @@ func validateTag(tag int) error {
 type transport interface {
 	send(to int, m Message) error
 	close() error
+	// copies reports whether send copies the payload before returning, so
+	// the caller may immediately reuse the slice (true for the TCP
+	// transport, which serializes into the socket; false for the
+	// in-process transport, whose hand-off is zero-copy).
+	copies() bool
+	// recvPool returns the pool frame payloads are drawn from, or nil.
+	// A receiver that has fully consumed a payload may Put it back so
+	// subsequent frame reads stop allocating.
+	recvPool() *bufpool.Pool
 }

@@ -8,7 +8,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
+	"github.com/ict-repro/mpid/internal/bufpool"
 	"github.com/ict-repro/mpid/internal/faults"
 )
 
@@ -42,6 +44,7 @@ func NewTCPWorldWithFaults(n int, inj *faults.Injector) (*World, error) {
 		listeners: make([]net.Listener, n),
 		conns:     make(map[connKey]*tcpConn),
 		inj:       inj,
+		pool:      bufpool.New(),
 	}
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -61,10 +64,15 @@ func NewTCPWorldWithFaults(n int, inj *faults.Injector) (*World, error) {
 type connKey struct{ src, dst int }
 
 // tcpConn serializes writes from concurrent senders on one connection.
+// waiters counts senders inside send() for this connection; the last one
+// out flushes, so back-to-back small sends (an Async spill's Isends, the
+// Done fan-out at CloseSend) coalesce into one syscall instead of one
+// flush per frame.
 type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
-	w  *bufio.Writer
+	mu      sync.Mutex
+	c       net.Conn
+	w       *bufio.Writer
+	waiters atomic.Int32
 }
 
 // tcpTransport maintains a lazy full mesh of connections. One connection per
@@ -75,6 +83,7 @@ type tcpTransport struct {
 	addrs     []string
 	listeners []net.Listener
 	inj       *faults.Injector // nil injects nothing
+	pool      *bufpool.Pool    // frame payload buffers, shared with receivers
 
 	mu     sync.Mutex
 	conns  map[connKey]*tcpConn
@@ -84,6 +93,14 @@ type tcpTransport struct {
 
 // frameHeader is src(int32) tag(int32) comm(uint64) length(uint32).
 const frameHeaderSize = 20
+
+// eagerThreshold is the eager/rendezvous split point. Messages below it are
+// copied into the connection's buffered writer (eager: the sender's buffer
+// is free on return, flushes batch across back-to-back sends); messages at
+// or above it flush the writer and then stream straight from the caller's
+// buffer into the socket, skipping the intermediate bufio copy — the moral
+// equivalent of MPI's rendezvous protocol for large realigned partitions.
+const eagerThreshold = 64 << 10
 
 func (t *tcpTransport) acceptLoop(rank int, ln net.Listener) {
 	defer t.wg.Done()
@@ -112,7 +129,7 @@ func (t *tcpTransport) readLoop(rank int, conn net.Conn) {
 		size := binary.BigEndian.Uint32(hdr[16:20])
 		var data []byte
 		if size > 0 {
-			data = make([]byte, size)
+			data = t.pool.Get(int(size))
 			if _, err := io.ReadFull(r, data); err != nil {
 				return
 			}
@@ -179,13 +196,33 @@ func (t *tcpTransport) send(to int, m Message) error {
 	binary.BigEndian.PutUint32(hdr[4:8], uint32(int32(m.Tag)))
 	binary.BigEndian.PutUint64(hdr[8:16], uint64(m.Comm))
 	binary.BigEndian.PutUint32(hdr[16:20], uint32(len(m.Data)))
+	c.waiters.Add(1)
 	c.mu.Lock()
 	_, err = c.w.Write(hdr[:])
-	if err == nil && len(m.Data) > 0 {
-		_, err = c.w.Write(m.Data)
-	}
-	if err == nil {
-		err = c.w.Flush()
+	if len(m.Data) >= eagerThreshold {
+		// Rendezvous: push the header (and any batched eager frames) out,
+		// then stream the payload straight from the caller's buffer. The
+		// waiter count is irrelevant here — the direct write leaves nothing
+		// buffered behind it.
+		if err == nil {
+			err = c.w.Flush()
+		}
+		if err == nil {
+			_, err = c.c.Write(m.Data)
+		}
+		c.waiters.Add(-1)
+	} else {
+		if err == nil && len(m.Data) > 0 {
+			_, err = c.w.Write(m.Data)
+		}
+		// Last writer out flushes. A sender that leaves others queued on
+		// c.mu skips the flush: one of them will carry this frame out, or
+		// fail and drop the connection for everyone. Sequential sends always
+		// see waiters==0 and flush immediately, preserving per-message
+		// latency and error reporting.
+		if last := c.waiters.Add(-1) == 0; err == nil && last {
+			err = c.w.Flush()
+		}
 	}
 	c.mu.Unlock()
 	if err != nil {
@@ -195,6 +232,15 @@ func (t *tcpTransport) send(to int, m Message) error {
 	}
 	return err
 }
+
+// copies reports that the TCP transport serializes payloads into the socket
+// before send returns, so callers may reuse their buffers.
+func (t *tcpTransport) copies() bool { return true }
+
+// recvPool exposes the pool readLoop draws frame payloads from. Receivers
+// that return consumed payloads close the allocation loop: steady-state
+// frame reads become pool hits.
+func (t *tcpTransport) recvPool() *bufpool.Pool { return t.pool }
 
 func (t *tcpTransport) close() error {
 	t.mu.Lock()

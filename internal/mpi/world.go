@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"github.com/ict-repro/mpid/internal/bufpool"
 )
 
 // World is a set of communicating ranks sharing one transport. Create one
@@ -69,6 +71,10 @@ func (t *procTransport) send(to int, m Message) error {
 }
 
 func (t *procTransport) close() error { return nil }
+
+func (t *procTransport) copies() bool { return false }
+
+func (t *procTransport) recvPool() *bufpool.Pool { return nil }
 
 // Run executes body once per rank, each in its own goroutine, over a fresh
 // in-process world, and waits for all of them. It returns the first non-nil
@@ -138,6 +144,20 @@ type Comm struct {
 
 // Rank returns this process's rank within the communicator, in [0, Size).
 func (c *Comm) Rank() int { return c.rank }
+
+// SendCopies reports whether Send copies the payload before returning. When
+// true (TCP transport) the caller may reuse its buffer immediately after
+// Send; when false (in-process transport) ownership transfers with the
+// message, as Send documents. MPI-D's spill path uses this to recycle
+// realigned partition buffers across spills where it is safe.
+func (c *Comm) SendCopies() bool { return c.world.tr.copies() }
+
+// RecvBufferPool returns the pool the transport draws received frame
+// payloads from, or nil (in-process transport). A receiver that has fully
+// consumed a payload — and holds no aliases into it — may Put it back so
+// steady-state frame reads stop allocating; returning foreign buffers is
+// harmless.
+func (c *Comm) RecvBufferPool() *bufpool.Pool { return c.world.tr.recvPool() }
 
 // Size returns the communicator size.
 func (c *Comm) Size() int {

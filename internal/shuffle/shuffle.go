@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ict-repro/mpid/internal/bufpool"
 	"github.com/ict-repro/mpid/internal/kv"
 )
 
@@ -50,44 +51,15 @@ type Combiner func(key []byte, values [][]byte) [][]byte
 // ---------------------------------------------------------------------------
 // Buffer pool
 
-// BufferPool recycles byte buffers across shuffle fetches and merge
-// passes, so a reduce task's steady state stops allocating per fetch. A
-// nil *BufferPool is valid and simply allocates.
-type BufferPool struct {
-	pool sync.Pool
-}
+// BufferPool is the size-classed byte-buffer pool shared across the live
+// stack. It started here (PR 4) and was promoted to internal/bufpool once
+// the MPI-D fast path needed the same recycling; the alias keeps the
+// shuffle/jetty/tasktracker call sites unchanged. A nil *BufferPool is
+// valid and simply allocates.
+type BufferPool = bufpool.Pool
 
 // NewBufferPool creates an empty pool.
-func NewBufferPool() *BufferPool { return &BufferPool{} }
-
-// Get returns a length-n buffer, reusing a pooled one when its capacity
-// suffices. Use b[:0] to append.
-func (p *BufferPool) Get(n int) []byte {
-	if p == nil {
-		return make([]byte, n)
-	}
-	if v := p.pool.Get(); v != nil {
-		b := *(v.(*[]byte))
-		if cap(b) >= n {
-			return b[:n]
-		}
-	}
-	// Round up so one slightly-larger request later still hits the pool.
-	c := n
-	if c < 4<<10 {
-		c = 4 << 10
-	}
-	return make([]byte, n, c)
-}
-
-// Put returns a buffer to the pool. The caller must not use b afterwards.
-func (p *BufferPool) Put(b []byte) {
-	if p == nil || cap(b) == 0 {
-		return
-	}
-	b = b[:0]
-	p.pool.Put(&b)
-}
+func NewBufferPool() *BufferPool { return bufpool.New() }
 
 // ---------------------------------------------------------------------------
 // Runs
@@ -119,6 +91,28 @@ type run struct {
 	data   []byte
 	seq    int  // smallest source segment index, tie-breaks equal keys
 	pooled bool // buffer may be recycled once the run is consumed by a pass
+}
+
+// Run is one sorted segment handed to MergeRuns: framed kv.KeyList records
+// in strictly increasing key order. Seq tie-breaks equal keys across runs
+// (lower Seq's values come first).
+type Run struct {
+	Data []byte
+	Seq  int
+}
+
+// MergeRuns k-way merges sorted runs, calling emit once per key in strictly
+// increasing key order with the values of equal keys grouped (combined when
+// combine is non-nil and the key drew from more than one run). Emitted
+// slices alias the run buffers; the caller decides their lifetime. This is
+// the exported face of the merge heap, reused by MPI-D's streaming
+// receiver (internal/core) over per-sender spill fragments.
+func MergeRuns(rs []Run, combine Combiner, emit func(kv.KeyList) error) error {
+	internal := make([]run, len(rs))
+	for i, r := range rs {
+		internal[i] = run{data: r.Data, seq: r.Seq}
+	}
+	return mergeRuns(internal, combine, emit)
 }
 
 // cursor walks a run's KeyList frames.
@@ -243,7 +237,10 @@ type MergeStats struct {
 // Config shapes a Merger.
 type Config struct {
 	// Expected is how many segments Add will deliver in total. Merge may
-	// only be called after all of them arrived.
+	// only be called after all of them arrived. Zero means the count is
+	// unknown (streaming use, as in MPI-D's wildcard reception): background
+	// passes then run whenever Factor runs are pending, and Merge trusts
+	// the caller to have observed end-of-stream externally.
 	Expected int
 	// Factor is the merge fan-in (io.sort.factor): an intermediate pass
 	// starts whenever at least Factor runs are pending and more segments
@@ -257,6 +254,15 @@ type Config struct {
 	// Pool recycles intermediate pass buffers; segment buffers handed to
 	// Add are recycled too once a pass consumes them. Optional.
 	Pool *BufferPool
+	// Ordered makes intermediate passes fold the lowest-seq pending runs
+	// instead of the smallest. Folding an arbitrary subset can interleave
+	// equal-key value groups out of seq order in the final stream; folding
+	// a seq-prefix cannot, because a pass output's seq is the batch minimum
+	// and every run left behind has a larger seq. MPI-D's grouped receiver
+	// relies on this to stay byte-identical with the legacy arrival-order
+	// drain. Costs the smallest-runs heuristic, so only set it when the
+	// emitted value order matters.
+	Ordered bool
 	// OnPass, when set, observes every completed intermediate pass — the
 	// hook the tasktracker uses to emit merge spans and metrics. Called
 	// from the pass's goroutine.
@@ -307,12 +313,27 @@ func (m *Merger) Add(seq int, data []byte) {
 // pending and more segments are still expected. The final batch is left
 // for Merge so the last arrivals don't trigger a useless extra pass.
 func (m *Merger) maybeStartPassLocked() {
-	if m.err != nil || m.added >= m.cfg.Expected || len(m.pending) < m.cfg.Factor {
+	if m.err != nil || len(m.pending) < m.cfg.Factor {
+		return
+	}
+	if m.cfg.Expected > 0 && m.added >= m.cfg.Expected {
 		return
 	}
 	// Fold the smallest pending runs: cheapest pass, and it keeps large
-	// already-merged runs from being recopied over and over.
-	batch := m.takeSmallestLocked(m.cfg.Factor)
+	// already-merged runs from being recopied over and over. Ordered mode
+	// folds the oldest instead to preserve the seq order of equal keys,
+	// and runs one pass at a time: with every unfolded run visible in
+	// pending, the Factor lowest seqs are a contiguous prefix of what is
+	// left, so folding them cannot jump an in-flight seq range.
+	var batch []run
+	if m.cfg.Ordered {
+		if m.passes > 0 {
+			return
+		}
+		batch = m.takeOldestLocked(m.cfg.Factor)
+	} else {
+		batch = m.takeSmallestLocked(m.cfg.Factor)
+	}
 	m.passes++
 	go m.runPass(batch)
 }
@@ -326,6 +347,23 @@ func (m *Merger) takeSmallestLocked(n int) []run {
 		best := 0
 		for i, r := range m.pending {
 			if len(r.data) < len(m.pending[best].data) {
+				best = i
+			}
+		}
+		batch = append(batch, m.pending[best])
+		m.pending = append(m.pending[:best], m.pending[best+1:]...)
+	}
+	return batch
+}
+
+// takeOldestLocked removes and returns the n pending runs with the lowest
+// seq (Ordered mode).
+func (m *Merger) takeOldestLocked(n int) []run {
+	batch := make([]run, 0, n)
+	for len(batch) < n {
+		best := 0
+		for i, r := range m.pending {
+			if r.seq < m.pending[best].seq {
 				best = i
 			}
 		}
@@ -401,7 +439,7 @@ func (m *Merger) Merge(emit func(kv.KeyList) error) error {
 		m.mu.Unlock()
 		return err
 	}
-	if m.added != m.cfg.Expected {
+	if m.cfg.Expected > 0 && m.added != m.cfg.Expected {
 		n := m.added
 		m.mu.Unlock()
 		return fmt.Errorf("shuffle: final merge with %d/%d segments", n, m.cfg.Expected)
