@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build vet test race chaos bench bench-smoke docs-lint trace-demo report examples clean
+.PHONY: all check build vet test race chaos serve-chaos bench bench-smoke docs-lint trace-demo report examples clean
 
 all: build vet test
 
@@ -13,6 +13,12 @@ check: build vet test race
 # Just the chaos suite (fault injection against the live Hadoop engine).
 chaos:
 	go test ./internal/hadoop/ -run TestChaos -v
+
+# The job-service chaos suite under the race detector: probe-detected
+# tracker kill recovering byte-identical, and probe flapping causing no
+# spurious re-execution.
+serve-chaos:
+	go test -race ./internal/serve/ -run TestChaos -v
 
 build:
 	go build ./...
@@ -32,15 +38,17 @@ bench:
 	go test -bench=. -benchmem ./...
 	go run ./cmd/mpid-bench -o BENCH_shuffle.json
 	go run ./cmd/mpid-bench -suite mpid -o BENCH_mpid.json
+	go run ./cmd/mpid-bench -suite serve -o BENCH_serve.json
 
 # One iteration of every benchmark — a CI smoke test that the bench code
 # still compiles and runs, without the timing noise of a real bench run —
-# plus seconds-scale A/B runs producing the BENCH_shuffle.json and
-# BENCH_mpid.json CI artifacts.
+# plus seconds-scale A/B runs producing the BENCH_shuffle.json,
+# BENCH_mpid.json and BENCH_serve.json CI artifacts.
 bench-smoke:
 	go test -bench=. -benchtime=1x ./...
 	go run ./cmd/mpid-bench -smoke -o BENCH_shuffle.json
 	go run ./cmd/mpid-bench -suite mpid -smoke -o BENCH_mpid.json
+	go run ./cmd/mpid-bench -suite serve -smoke -o BENCH_serve.json
 
 # Documentation lint: every internal package must carry a package doc
 # comment, and every local markdown link in the top-level docs must

@@ -7,16 +7,22 @@
 //     through the optimized core (arena send buffer, pooled transport,
 //     streaming receive merge), the legacy core (LegacySend+LegacyGroup)
 //     and the real mini-Hadoop engine — written as BENCH_mpid.json.
+//   - suite "serve": the job-service soak — a swarm of concurrent tenant
+//     clients submitting WordCount jobs through mpid-serve's RPC
+//     front-end, reporting p50/p99 job latency, backpressure counts and
+//     the cross-tenant fairness ratio — written as BENCH_serve.json.
 //
 //	mpid-bench -o BENCH_shuffle.json                  full shuffle baseline
 //	mpid-bench -suite mpid -o BENCH_mpid.json         full MPI-D core baseline
+//	mpid-bench -suite serve -o BENCH_serve.json       full job-service soak
 //	mpid-bench -suite mpid -smoke -o /tmp/bench.json  seconds-scale CI smoke run
 //
 // Flags override individual workload knobs (shuffle: -maps, -reducers,
 // -keys, -vocab, -copiers, -factor; mpid: -size, -reducers, -vocab;
-// both: -reps, -seed). Each suite validates output equality across its
-// engines before timing anything, prints the A/B table to stdout, and
-// exits non-zero if the run fails.
+// serve: -tenants, -jobs, -slots, -queue, -size, -reducers; common:
+// -reps, -seed). Each suite validates output equality before timing
+// anything, prints its summary table to stdout, and exits non-zero if
+// the run fails.
 package main
 
 import (
@@ -29,7 +35,7 @@ import (
 )
 
 func main() {
-	suite := flag.String("suite", "shuffle", "benchmark suite: shuffle | mpid")
+	suite := flag.String("suite", "shuffle", "benchmark suite: shuffle | mpid | serve")
 	out := flag.String("o", "", "write the result JSON to this file (e.g. BENCH_shuffle.json)")
 	smoke := flag.Bool("smoke", false, "use the seconds-scale smoke configuration")
 	maps := flag.Int("maps", 0, "shuffle: map segments per reducer")
@@ -38,7 +44,11 @@ func main() {
 	vocab := flag.Int("vocab", 0, "override: distinct-key universe")
 	copiers := flag.Int("copiers", 0, "shuffle: parallel feeders per reducer")
 	factor := flag.Int("factor", 0, "shuffle: merge fan-in (io.sort.factor)")
-	size := flag.Int64("size", 0, "mpid: input size in bytes")
+	size := flag.Int64("size", 0, "mpid/serve: input size in bytes")
+	tenants := flag.Int("tenants", 0, "serve: submitting tenants")
+	jobs := flag.Int("jobs", 0, "serve: jobs per tenant")
+	slots := flag.Int("slots", 0, "serve: concurrent-job slots")
+	queue := flag.Int("queue", 0, "serve: admission queue depth")
 	reps := flag.Int("reps", 0, "override: repetitions per engine (best kept)")
 	seed := flag.Int64("seed", 0, "override: workload seed")
 	flag.Parse()
@@ -109,8 +119,42 @@ func main() {
 		fmt.Print(experiments.RenderMPIDBench(res))
 		write(*out, func() ([]byte, error) { return experiments.MarshalMPIDBench(res) })
 
+	case "serve":
+		cfg := experiments.DefaultServeBench()
+		if *smoke {
+			cfg = experiments.SmokeServeBench()
+		}
+		if *tenants > 0 {
+			cfg.Tenants = *tenants
+		}
+		if *jobs > 0 {
+			cfg.JobsPerTenant = *jobs
+		}
+		if *slots > 0 {
+			cfg.Slots = *slots
+		}
+		if *queue > 0 {
+			cfg.QueueDepth = *queue
+		}
+		if *size > 0 {
+			cfg.JobBytes = *size
+		}
+		if *reducers > 0 {
+			cfg.Reducers = int64(*reducers)
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		res, err := experiments.RunServeBench(cfg)
+		if err != nil {
+			fail(err)
+		}
+		res.Timestamp = time.Now().UTC().Format(time.RFC3339)
+		fmt.Print(experiments.RenderServeBench(res))
+		write(*out, func() ([]byte, error) { return experiments.MarshalServeBench(res) })
+
 	default:
-		fail(fmt.Errorf("unknown suite %q (want shuffle or mpid)", *suite))
+		fail(fmt.Errorf("unknown suite %q (want shuffle, mpid or serve)", *suite))
 	}
 }
 

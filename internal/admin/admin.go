@@ -37,14 +37,28 @@ type Server struct {
 	closed bool
 }
 
+// Page is an extra endpoint mounted on the admin mux — how long-lived
+// daemons (cmd/mpid-serve) add service-specific views like /jobs without
+// the admin package knowing about them.
+type Page struct {
+	// Path is the mount point, e.g. "/jobs".
+	Path string
+	// Handler serves it.
+	Handler http.HandlerFunc
+}
+
 // New binds addr (use "127.0.0.1:0" for an ephemeral port) and starts
 // serving. A nil registry or tracer is allowed and serves empty content.
-func New(addr string, met *metrics.Registry, tr *trace.Tracer) (*Server, error) {
+// Extra pages, when given, are mounted alongside the built-in endpoints.
+func New(addr string, met *metrics.Registry, tr *trace.Tracer, extras ...Page) (*Server, error) {
 	s := &Server{met: met, tr: tr}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/trace.json", s.handleTrace)
 	mux.HandleFunc("/timeline", s.handleTimeline)
+	for _, p := range extras {
+		mux.HandleFunc(p.Path, p.Handler)
+	}
 	// pprof registers itself on http.DefaultServeMux; wire its handlers
 	// onto this private mux instead so the admin server is self-contained.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

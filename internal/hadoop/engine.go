@@ -25,6 +25,7 @@
 package hadoop
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -113,6 +114,44 @@ type Config struct {
 	// collected so far), /timeline (ASCII Gantt) and net/http/pprof under
 	// /debug/pprof/. Use "127.0.0.1:0" for an ephemeral port.
 	AdminAddr string
+	// Watch, when set, is called once the jobtracker is serving, with a
+	// control handle over the cluster's tracker liveness. External liveness
+	// detectors (the job service's active prober, internal/serve) use it to
+	// observe tracker addresses and feed dead verdicts into the same
+	// re-execution path the heartbeat-timeout sweep uses — so recovery can
+	// start on probe loss instead of waiting out TrackerTimeout. The handle
+	// stays valid until RunWithReport returns; calls after that are safe
+	// no-ops.
+	Watch func(ClusterControl)
+}
+
+// TrackerState is an external view of one tasktracker's liveness: its
+// jobtracker-assigned id, the address of its jetty shuffle server (which
+// doubles as the probe surface — it dies with the tracker, and it is
+// exactly the component whose death strands map outputs), whether it has
+// been declared lost, and when it last heartbeated.
+type TrackerState struct {
+	ID       int
+	Addr     string
+	Lost     bool
+	LastSeen time.Time
+}
+
+// ClusterControl is the handle Config.Watch receives: enough to observe
+// tracker liveness from outside and to feed externally-detected deaths
+// into the engine's re-execution machinery.
+type ClusterControl interface {
+	// Trackers snapshots every registered tracker's state. Trackers
+	// register asynchronously, so early calls may see fewer than
+	// Config.NumTrackers entries.
+	Trackers() []TrackerState
+	// MarkLost declares a tracker dead, re-queueing its running tasks and
+	// re-executing its completed maps elsewhere — the same path the
+	// heartbeat-timeout sweep takes. It reports whether the verdict acted:
+	// false when the id is unknown, the tracker is already lost, or the
+	// job has already finished or failed, making it safe to call from a
+	// flapping prober — duplicate verdicts are no-ops.
+	MarkLost(id int) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -203,6 +242,16 @@ func Run(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.Result, err
 // report is returned even when the job fails, so a post-mortem can see how
 // far it got; it is nil only when the job never started.
 func RunWithReport(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.Result, *JobReport, error) {
+	return RunWithReportContext(context.Background(), job, splits, cfg)
+}
+
+// RunWithReportContext is RunWithReport under a context: cancellation
+// aborts the job — trackers stop heartbeating, reduce copy loops cut their
+// fetch and backoff schedules short (the context threads down to the jetty
+// client), and the error returned is the context's. The report still
+// reflects whatever completed before the cancel, so a drained job leaves a
+// usable post-mortem.
+func RunWithReportContext(ctx context.Context, job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.Result, *JobReport, error) {
 	if job.Mapper == nil || job.Reducer == nil {
 		return nil, nil, errors.New("hadoop: job needs Mapper and Reducer")
 	}
@@ -222,6 +271,20 @@ func RunWithReport(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.R
 		return nil, nil, err
 	}
 	defer jt.stop()
+	if cfg.Watch != nil {
+		cfg.Watch(jt)
+	}
+	if ctx.Done() != nil {
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-ctx.Done():
+				jt.abort(ctx.Err())
+			case <-stopWatch:
+			}
+		}()
+	}
 
 	if cfg.AdminAddr != "" {
 		adm, err := admin.New(cfg.AdminAddr, cfg.Metrics, jt.tr)
@@ -234,7 +297,7 @@ func RunWithReport(job mapred.Job, splits []mapred.Split, cfg Config) (*mapred.R
 	var wg sync.WaitGroup
 	trackerErrs := make([]error, cfg.NumTrackers)
 	for i := 0; i < cfg.NumTrackers; i++ {
-		tt, err := newTaskTracker(i, addr, job, splits, cfg)
+		tt, err := newTaskTracker(ctx, i, addr, job, splits, cfg)
 		if err != nil {
 			jt.abort(fmt.Errorf("hadoop: tracker %d: %w", i, err))
 			break
@@ -455,6 +518,56 @@ func (jt *jobTracker) sweep(now time.Time) {
 	if alive == 0 {
 		jt.abortLocked(errors.New("hadoop: all tasktrackers lost"))
 	}
+}
+
+// Trackers implements ClusterControl: a snapshot of every registered
+// tracker's liveness state.
+func (jt *jobTracker) Trackers() []TrackerState {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	out := make([]TrackerState, 0, len(jt.trackers))
+	for _, tr := range jt.trackers {
+		out = append(out, TrackerState{
+			ID:       tr.id,
+			Addr:     tr.jettyAddr,
+			Lost:     tr.lost,
+			LastSeen: tr.lastSeen,
+		})
+	}
+	return out
+}
+
+// MarkLost implements ClusterControl: an externally-detected tracker death
+// takes the same path as the heartbeat-timeout sweep. Idempotent and inert
+// once the job has finished or failed, so a flapping prober can never
+// corrupt a completed job or double-requeue work.
+func (jt *jobTracker) MarkLost(id int) bool {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	if id < 0 || id >= len(jt.trackers) {
+		return false
+	}
+	if jt.failure != nil || jt.reducesDone == jt.job.NumReducers {
+		return false
+	}
+	tr := jt.trackers[id]
+	if tr.lost {
+		return false
+	}
+	jt.markLostLocked(tr)
+	jt.met.Counter("hadoop.trackers_probe_lost").Inc()
+	alive := 0
+	for _, t := range jt.trackers {
+		if !t.lost {
+			alive++
+		}
+	}
+	// The sweep's all-lost abort may be disabled (TrackerTimeout < 0), so
+	// the externally-driven path must reach the same terminal state itself.
+	if alive == 0 {
+		jt.abortLocked(errors.New("hadoop: all tasktrackers lost"))
+	}
+	return true
 }
 
 // closeTrace finishes the job's trace: scheduler attempt spans still open

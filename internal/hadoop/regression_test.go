@@ -1,6 +1,7 @@
 package hadoop
 
 import (
+	"context"
 	"bytes"
 	"testing"
 	"time"
@@ -115,7 +116,7 @@ func runReduceAgainst(t *testing.T, locs []mapOutputLoc, numSplits int) []byte {
 		splits[i] = mapred.NewPairSplit(i, nil)
 	}
 	job := mapred.Job{Mapper: wcMapper, Reducer: wcReducer, NumReducers: 1}
-	tt, err := newTaskTracker(0, jtAddr, job, splits, Config{}.withDefaults())
+	tt, err := newTaskTracker(context.Background(), 0, jtAddr, job, splits, Config{}.withDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}

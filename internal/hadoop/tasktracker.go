@@ -1,6 +1,7 @@
 package hadoop
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -31,8 +32,9 @@ const jobName = "job_local_0001"
 // when an injected Crash kills it mid-heartbeat, taking its shuffle server
 // (and every map output it held) down with it.
 type taskTracker struct {
-	idx    int // slot index in the cluster, names the fault component
-	id     int // jobtracker-assigned id
+	idx    int             // slot index in the cluster, names the fault component
+	id     int             // jobtracker-assigned id
+	ctx    context.Context // job lifetime; cancellation stops fetches and heartbeats
 	comp   string
 	job    mapred.Job
 	splits []mapred.Split
@@ -62,9 +64,10 @@ type taskTracker struct {
 	redsFailed int
 }
 
-func newTaskTracker(idx int, jtAddr string, job mapred.Job, splits []mapred.Split, cfg Config) (*taskTracker, error) {
+func newTaskTracker(ctx context.Context, idx int, jtAddr string, job mapred.Job, splits []mapred.Split, cfg Config) (*taskTracker, error) {
 	tt := &taskTracker{
 		idx:       idx,
+		ctx:       ctx,
 		comp:      fmt.Sprintf("hadoop.tracker%d", idx),
 		job:       job,
 		splits:    splits,
@@ -186,6 +189,15 @@ func (tt *taskTracker) progress() string {
 // transport failure.
 func (tt *taskTracker) run() error {
 	for seq := int64(1); ; seq++ {
+		if err := tt.ctx.Err(); err != nil {
+			// Job canceled or drained: flip to aborting so running copy
+			// loops stop, drain tasks, and report the context's error.
+			tt.mu.Lock()
+			tt.aborting = true
+			tt.mu.Unlock()
+			tt.tasks.Wait()
+			return fmt.Errorf("hadoop: tracker %d canceled: %w", tt.idx, err)
+		}
 		if err := tt.inj.Check(tt.comp, "heartbeat", ""); err != nil {
 			if faults.IsCrash(err) {
 				// Abrupt death: no goodbyes, no draining. The shuffle
@@ -661,7 +673,7 @@ func (tt *taskTracker) fetchRun(j mapOutputLoc, reduce int, pctx trace.Context) 
 	fs := tt.tr.StartChild(pctx, fmt.Sprintf("fetch m%d", j.mapID), trace.KindFetch)
 	defer fs.End()
 	fs.Annotate("from", fmt.Sprintf("tracker%d", j.trackerID))
-	data, err := tt.fetch.FetchMapOutputTraced(fs.Context(), j.addr,
+	data, err := tt.fetch.FetchMapOutputContext(tt.ctx, fs.Context(), j.addr,
 		jetty.OutputKey{Job: jobName, Map: j.mapID, Reduce: reduce})
 	if err != nil {
 		fs.Annotate("error", err.Error())
@@ -804,7 +816,7 @@ func (tt *taskTracker) fetchAndParse(j mapOutputLoc, reduce int, pctx trace.Cont
 	fs := tt.tr.StartChild(pctx, fmt.Sprintf("fetch m%d", j.mapID), trace.KindFetch)
 	defer fs.End()
 	fs.Annotate("from", fmt.Sprintf("tracker%d", j.trackerID))
-	data, err := tt.fetch.FetchMapOutputTraced(fs.Context(), j.addr,
+	data, err := tt.fetch.FetchMapOutputContext(tt.ctx, fs.Context(), j.addr,
 		jetty.OutputKey{Job: jobName, Map: j.mapID, Reduce: reduce})
 	if err != nil {
 		fs.Annotate("error", err.Error())
@@ -825,6 +837,9 @@ func (tt *taskTracker) fetchAndParse(j mapOutputLoc, reduce int, pctx trace.Cont
 }
 
 func (tt *taskTracker) isAborting() bool {
+	if tt.ctx.Err() != nil {
+		return true
+	}
 	tt.mu.Lock()
 	defer tt.mu.Unlock()
 	return tt.aborting

@@ -54,15 +54,20 @@ func DialOptions(addr, protocol string, version int64, opts Options) (*Client, e
 	c.jit = faults.NewJitter(c.opts.Seed)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.connectLocked(); err != nil {
+	var deadline time.Time
+	if c.opts.CallTimeout > 0 {
+		deadline = time.Now().Add(c.opts.CallTimeout)
+	}
+	if err := c.connectLocked(deadline); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// connectLocked dials, sends the connection header and runs the handshake.
-// On any failure the half-open connection is torn down.
-func (c *Client) connectLocked() error {
+// connectLocked dials, sends the connection header and runs the handshake,
+// all inside the caller's deadline. On any failure the half-open connection
+// is torn down.
+func (c *Client) connectLocked(deadline time.Time) error {
 	if err := c.opts.Injector.Check(c.opts.Component, "dial", c.addr); err != nil {
 		return err
 	}
@@ -95,7 +100,7 @@ func (c *Client) connectLocked() error {
 	// VersionedProtocol handshake.
 	var ver [8]byte
 	binary.BigEndian.PutUint64(ver[:], uint64(c.version))
-	got, err := c.callLocked(getProtocolVersionMethod, [][]byte{ver[:]}, nil)
+	got, err := c.callLocked(getProtocolVersionMethod, [][]byte{ver[:]}, nil, deadline)
 	if err != nil {
 		c.dropLocked()
 		return fmt.Errorf("hadooprpc: handshake: %w", err)
@@ -136,12 +141,19 @@ func (c *Client) CallTraced(tctx []byte, method string, params ...[]byte) ([]byt
 	m.Counter("rpc.calls." + method).Inc()
 	start := time.Now()
 	defer func() { m.Timer("rpc.latency").ObserveDuration(time.Since(start)) }()
+	// CallTimeout is the whole Call's budget: attempts, reconnects and
+	// backoff sleeps all draw from one deadline, so a flapping peer cannot
+	// stretch the Call to MaxAttempts fresh timeouts.
+	var deadline time.Time
+	if c.opts.CallTimeout > 0 {
+		deadline = start.Add(c.opts.CallTimeout)
+	}
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if c.closed {
 			return nil, errors.New("hadooprpc: client closed")
 		}
-		value, err := c.attemptLocked(method, params, tctx)
+		value, err := c.attemptLocked(method, params, tctx, deadline)
 		if err == nil || !retryable(err) {
 			if err != nil {
 				m.Counter("rpc.errors").Inc()
@@ -153,18 +165,27 @@ func (c *Client) CallTraced(tctx []byte, method string, params ...[]byte) ([]byt
 			m.Counter("rpc.errors").Inc()
 			return nil, lastErr
 		}
+		delay := c.opts.Backoff.Delay(attempt, c.jit)
+		if !deadline.IsZero() && !time.Now().Add(delay).Before(deadline) {
+			m.Counter("rpc.errors").Inc()
+			return nil, &DeadlineError{
+				Method: method, Attempts: attempt,
+				Elapsed: time.Since(start), Cause: lastErr,
+			}
+		}
 		m.Counter("rpc.retries").Inc()
 		// Sleeping under the lock is deliberate: one call in flight at a
 		// time is this client's contract.
-		time.Sleep(c.opts.Backoff.Delay(attempt, c.jit))
+		time.Sleep(delay)
 	}
 }
 
 // attemptLocked is one try: ensure a connection, run the injection point,
 // send and await the response. Transport failures poison the connection.
-func (c *Client) attemptLocked(method string, params [][]byte, tctx []byte) ([]byte, error) {
+// deadline, when non-zero, is the whole Call's budget expiry.
+func (c *Client) attemptLocked(method string, params [][]byte, tctx []byte, deadline time.Time) ([]byte, error) {
 	if c.conn == nil {
-		if err := c.connectLocked(); err != nil {
+		if err := c.connectLocked(deadline); err != nil {
 			return nil, err
 		}
 	}
@@ -174,7 +195,7 @@ func (c *Client) attemptLocked(method string, params [][]byte, tctx []byte) ([]b
 		}
 		return nil, err
 	}
-	value, err := c.callLocked(method, params, tctx)
+	value, err := c.callLocked(method, params, tctx, deadline)
 	if err != nil && !errors.Is(err, errRemote) {
 		c.dropLocked()
 	}
@@ -182,16 +203,16 @@ func (c *Client) attemptLocked(method string, params [][]byte, tctx []byte) ([]b
 }
 
 // callLocked performs one framed call/response exchange on the live
-// connection, bounded by the call timeout.
-func (c *Client) callLocked(method string, params [][]byte, tctx []byte) ([]byte, error) {
+// connection, bounded by the Call's remaining budget.
+func (c *Client) callLocked(method string, params [][]byte, tctx []byte, deadline time.Time) ([]byte, error) {
 	id := c.nextID
 	c.nextID++
 	frame, err := encodeCall(id, c.protocol, method, params, tctx)
 	if err != nil {
 		return nil, err
 	}
-	if c.opts.CallTimeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.opts.CallTimeout))
+	if !deadline.IsZero() {
+		c.conn.SetDeadline(deadline)
 		defer c.conn.SetDeadline(time.Time{})
 	}
 	if _, err := c.w.Write(frame); err != nil {

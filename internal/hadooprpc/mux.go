@@ -77,14 +77,19 @@ func DialMuxOptions(addr, protocol string, version int64, opts Options) (*MuxCli
 		opts:     opts.withDefaults(),
 	}
 	c.jit = faults.NewJitter(c.opts.Seed)
-	if _, err := c.ensureConn(); err != nil {
+	var deadline time.Time
+	if c.opts.CallTimeout > 0 {
+		deadline = time.Now().Add(c.opts.CallTimeout)
+	}
+	if _, err := c.ensureConn(deadline); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// ensureConn returns the live connection, dialing a fresh one if needed.
-func (c *MuxClient) ensureConn() (*muxConn, error) {
+// ensureConn returns the live connection, dialing a fresh one if needed;
+// the handshake on a fresh dial runs inside the caller's deadline.
+func (c *MuxClient) ensureConn(deadline time.Time) (*muxConn, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -93,7 +98,7 @@ func (c *MuxClient) ensureConn() (*muxConn, error) {
 	if c.cur != nil && c.cur.alive() {
 		return c.cur, nil
 	}
-	mc, err := c.dialLocked()
+	mc, err := c.dialLocked(deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +108,7 @@ func (c *MuxClient) ensureConn() (*muxConn, error) {
 
 // dialLocked establishes one connection generation: TCP connect, header,
 // read loop, handshake.
-func (c *MuxClient) dialLocked() (*muxConn, error) {
+func (c *MuxClient) dialLocked(deadline time.Time) (*muxConn, error) {
 	if err := c.opts.Injector.Check(c.opts.Component, "dial", c.addr); err != nil {
 		return nil, err
 	}
@@ -137,7 +142,7 @@ func (c *MuxClient) dialLocked() (*muxConn, error) {
 
 	var ver [8]byte
 	binary.BigEndian.PutUint64(ver[:], uint64(c.version))
-	got, err := c.callOn(mc, getProtocolVersionMethod, [][]byte{ver[:]}, nil)
+	got, err := c.callOn(mc, getProtocolVersionMethod, [][]byte{ver[:]}, nil, deadline)
 	if err != nil {
 		mc.kill(errConnAbandoned)
 		return nil, fmt.Errorf("hadooprpc: handshake: %w", err)
@@ -198,10 +203,10 @@ func isRemoteError(err error) bool {
 }
 
 // callOn performs one call/response exchange on a connection generation,
-// bounded by the call timeout. A timeout abandons the generation: once the
-// response stream is out of sync with the caller's patience, the safe move
-// is Hadoop's — reconnect.
-func (c *MuxClient) callOn(mc *muxConn, method string, params [][]byte, tctx []byte) ([]byte, error) {
+// bounded by the Call's remaining budget (a zero deadline waits forever). A
+// timeout abandons the generation: once the response stream is out of sync
+// with the caller's patience, the safe move is Hadoop's — reconnect.
+func (c *MuxClient) callOn(mc *muxConn, method string, params [][]byte, tctx []byte, deadline time.Time) ([]byte, error) {
 	ch := make(chan muxResult, 1)
 
 	mc.mu.Lock()
@@ -228,8 +233,8 @@ func (c *MuxClient) callOn(mc *muxConn, method string, params [][]byte, tctx []b
 	mc.mu.Unlock()
 	c.opts.Metrics.Counter("rpc.bytes_sent").Add(int64(len(frame)))
 
-	if c.opts.CallTimeout > 0 {
-		timer := time.NewTimer(c.opts.CallTimeout)
+	if !deadline.IsZero() {
+		timer := time.NewTimer(time.Until(deadline))
 		defer timer.Stop()
 		select {
 		case res := <-ch:
@@ -271,8 +276,15 @@ func (c *MuxClient) CallTraced(tctx []byte, method string, params ...[]byte) ([]
 	m.Counter("rpc.calls." + method).Inc()
 	start := time.Now()
 	defer func() { m.Timer("rpc.latency").ObserveDuration(time.Since(start)) }()
+	// One total budget for the whole Call — attempts, redials and backoff
+	// sleeps included — so a flapping peer cannot stretch a Call to
+	// MaxAttempts fresh timeouts.
+	var deadline time.Time
+	if c.opts.CallTimeout > 0 {
+		deadline = start.Add(c.opts.CallTimeout)
+	}
 	for attempt := 1; ; attempt++ {
-		value, err := c.attempt(method, params, tctx)
+		value, err := c.attempt(method, params, tctx, deadline)
 		if err == nil || !retryable(err) {
 			if err != nil {
 				m.Counter("rpc.errors").Inc()
@@ -286,13 +298,21 @@ func (c *MuxClient) CallTraced(tctx []byte, method string, params ...[]byte) ([]
 			m.Counter("rpc.errors").Inc()
 			return nil, err
 		}
+		delay := c.opts.Backoff.Delay(attempt, c.jit)
+		if !deadline.IsZero() && !time.Now().Add(delay).Before(deadline) {
+			m.Counter("rpc.errors").Inc()
+			return nil, &DeadlineError{
+				Method: method, Attempts: attempt,
+				Elapsed: time.Since(start), Cause: err,
+			}
+		}
 		m.Counter("rpc.retries").Inc()
-		time.Sleep(c.opts.Backoff.Delay(attempt, c.jit))
+		time.Sleep(delay)
 	}
 }
 
 // attempt is one try of a Call: injection point, connection, exchange.
-func (c *MuxClient) attempt(method string, params [][]byte, tctx []byte) ([]byte, error) {
+func (c *MuxClient) attempt(method string, params [][]byte, tctx []byte, deadline time.Time) ([]byte, error) {
 	if err := c.opts.Injector.Check(c.opts.Component, "call", method); err != nil {
 		if errors.Is(err, faults.ErrDropped) {
 			c.mu.Lock()
@@ -304,11 +324,11 @@ func (c *MuxClient) attempt(method string, params [][]byte, tctx []byte) ([]byte
 		}
 		return nil, err
 	}
-	mc, err := c.ensureConn()
+	mc, err := c.ensureConn(deadline)
 	if err != nil {
 		return nil, err
 	}
-	value, err := c.callOn(mc, method, params, tctx)
+	value, err := c.callOn(mc, method, params, tctx, deadline)
 	if err != nil && !isRemoteError(err) {
 		c.invalidate(mc)
 	}

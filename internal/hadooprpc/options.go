@@ -2,6 +2,7 @@ package hadooprpc
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"github.com/ict-repro/mpid/internal/faults"
@@ -18,8 +19,13 @@ type Options struct {
 	// disables). Without it a dead address blocks on OS defaults —
 	// minutes on most systems.
 	DialTimeout time.Duration
-	// CallTimeout bounds one call round trip (default 30 s; negative
-	// disables). A timed-out call abandons the connection: responses on
+	// CallTimeout bounds one whole Call — every attempt, reconnect and
+	// backoff sleep included — at 30 s by default (negative disables).
+	// It is a total budget, not a per-attempt one: a flapping peer that
+	// keeps half-answering cannot stretch a single Call to MaxAttempts ×
+	// CallTimeout. When the budget expires before an attempt succeeds,
+	// the Call returns a *DeadlineError wrapping the last attempt's
+	// failure. A timed-out attempt abandons its connection: responses on
 	// it can no longer be trusted to arrive.
 	CallTimeout time.Duration
 	// MaxAttempts is the total tries per Call, counting the first
@@ -67,6 +73,35 @@ func (o Options) withDefaults() Options {
 // IsRemote reports whether err is a per-call error returned by the server's
 // handler (the connection stays usable, and retrying cannot help).
 func IsRemote(err error) bool { return errors.Is(err, errRemote) }
+
+// DeadlineError reports that a Call's total time budget
+// (Options.CallTimeout) expired across its attempts before one succeeded.
+// It wraps the last attempt's failure, so errors.Is/As see through to the
+// underlying cause (an injected fault, an i/o timeout, a refused dial).
+type DeadlineError struct {
+	// Method is the RPC method the call was for.
+	Method string
+	// Attempts is how many attempts ran before the budget expired.
+	Attempts int
+	// Elapsed is the wall time the whole Call consumed.
+	Elapsed time.Duration
+	// Cause is the last attempt's failure.
+	Cause error
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("hadooprpc: call %s timed out after %v (%d attempts): %v",
+		e.Method, e.Elapsed.Round(time.Millisecond), e.Attempts, e.Cause)
+}
+
+// Unwrap exposes the last attempt's cause.
+func (e *DeadlineError) Unwrap() error { return e.Cause }
+
+// IsDeadline reports whether err is a total-budget expiry (*DeadlineError).
+func IsDeadline(err error) bool {
+	var de *DeadlineError
+	return errors.As(err, &de)
+}
 
 // retryable reports whether a failed call may succeed on a fresh attempt:
 // transport failures and injected transient faults are; remote handler

@@ -12,6 +12,7 @@
 package jetty
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -177,6 +178,7 @@ func (s *Server) Listen(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/mapOutput", s.handleMapOutput)
 	mux.HandleFunc("/stream", s.handleStream)
+	mux.HandleFunc("/ping", s.handlePing)
 	srv := &http.Server{Handler: mux}
 	s.mu.Lock()
 	s.ln, s.httpSrv = ln, srv
@@ -253,6 +255,24 @@ func (s *Server) handleMapOutput(w http.ResponseWriter, r *http.Request) {
 	s.Metrics.Counter("shuffle.serves").Inc()
 	s.Metrics.Counter("shuffle.serve_bytes").Add(int64(len(body)))
 	s.writeChunked(w, body)
+}
+
+// handlePing answers liveness probes: a tiny 200 that proves the tracker's
+// data path — the same HTTP server reducers fetch map outputs from — is up
+// and answering. The injector gates it ("ping" operation) so chaos tests
+// can make a live tracker look dead and a dead one flap back.
+func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
+	comp := s.Component
+	if comp == "" {
+		comp = "jetty.server"
+	}
+	if err := s.Injector.Check(comp, "ping", r.RemoteAddr); err != nil {
+		http.Error(w, "jetty: injected fault: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.Metrics.Counter("shuffle.pings").Inc()
+	w.Header().Set("Content-Length", "4")
+	w.Write([]byte("pong"))
 }
 
 // handleStream serves size synthetic bytes, the §II.B bandwidth endpoint.
@@ -378,6 +398,15 @@ func (c *Client) FetchMapOutput(addr string, key OutputKey) ([]byte, error) {
 // can parent its serve span under the reducer's fetch span. An invalid
 // (zero) context sends no header.
 func (c *Client) FetchMapOutputTraced(tctx trace.Context, addr string, key OutputKey) ([]byte, error) {
+	return c.FetchMapOutputContext(context.Background(), tctx, addr, key)
+}
+
+// FetchMapOutputContext is FetchMapOutputTraced under a context: ctx
+// cancellation aborts the in-flight HTTP exchange and cuts the backoff
+// schedule short, so a killed or drained job stops fetching promptly
+// instead of riding its retries out. Returns ctx.Err() (possibly wrapped)
+// once the context is done.
+func (c *Client) FetchMapOutputContext(ctx context.Context, tctx trace.Context, addr string, key OutputKey) ([]byte, error) {
 	url := fmt.Sprintf("http://%s/mapOutput?job=%s&map=%d&reduce=%d",
 		addr, key.Job, key.Map, key.Reduce)
 	attempts := c.MaxAttempts
@@ -388,8 +417,12 @@ func (c *Client) FetchMapOutputTraced(tctx trace.Context, addr string, key Outpu
 	start := time.Now()
 	defer func() { c.Metrics.Timer("shuffle.fetch_latency").ObserveDuration(time.Since(start)) }()
 	for attempt := 1; ; attempt++ {
-		data, err := c.fetchOnce(url, addr, tctx)
-		if err == nil || !fetchRetryable(err) {
+		if err := ctx.Err(); err != nil {
+			c.Metrics.Counter("shuffle.fetch_errors").Inc()
+			return nil, err
+		}
+		data, err := c.fetchOnce(ctx, url, addr, tctx)
+		if err == nil || !fetchRetryable(err) || ctx.Err() != nil {
 			if err != nil {
 				c.Metrics.Counter("shuffle.fetch_errors").Inc()
 			} else {
@@ -402,12 +435,19 @@ func (c *Client) FetchMapOutputTraced(tctx trace.Context, addr string, key Outpu
 			return nil, err
 		}
 		c.Metrics.Counter("shuffle.fetch_retries").Inc()
-		time.Sleep(c.Backoff.Delay(attempt, c.jit))
+		delay := time.NewTimer(c.Backoff.Delay(attempt, c.jit))
+		select {
+		case <-ctx.Done():
+			delay.Stop()
+			c.Metrics.Counter("shuffle.fetch_errors").Inc()
+			return nil, ctx.Err()
+		case <-delay.C:
+		}
 	}
 }
 
 // fetchOnce is one fetch attempt: injection point, then the HTTP exchange.
-func (c *Client) fetchOnce(url, peer string, tctx trace.Context) ([]byte, error) {
+func (c *Client) fetchOnce(ctx context.Context, url, peer string, tctx trace.Context) ([]byte, error) {
 	comp := c.Component
 	if comp == "" {
 		comp = "jetty.client"
@@ -415,7 +455,28 @@ func (c *Client) fetchOnce(url, peer string, tctx trace.Context) ([]byte, error)
 	if err := c.Injector.Check(comp, "fetch", peer); err != nil {
 		return nil, err
 	}
-	return c.fetch(url, tctx)
+	return c.fetch(ctx, url, tctx)
+}
+
+// Ping probes the server's /ping endpoint under the given context and
+// returns the round-trip time. Any transport failure, non-200 status or
+// context expiry is a probe loss.
+func (c *Client) Ping(ctx context.Context, addr string) (time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/ping", nil)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, &statusError{code: resp.StatusCode, status: resp.Status}
+	}
+	return time.Since(start), nil
 }
 
 // FetchStream retrieves size bytes from the bandwidth endpoint with the
@@ -452,8 +513,8 @@ func (c *Client) readChunk() int {
 	return c.ReadChunk
 }
 
-func (c *Client) fetch(url string, tctx trace.Context) ([]byte, error) {
-	req, err := http.NewRequest(http.MethodGet, url, nil)
+func (c *Client) fetch(ctx context.Context, url string, tctx trace.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}

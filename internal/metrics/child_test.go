@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Child registries give each concurrent job private counters whose updates
+// also roll up into the service-wide parent: the per-job view is isolated,
+// the parent view is the fleet total.
+
+func TestChildCounterPropagatesToParent(t *testing.T) {
+	parent := NewRegistry()
+	a, b := parent.NewChild(), parent.NewChild()
+
+	a.Counter("work").Add(3)
+	b.Counter("work").Add(7)
+	parent.Counter("work").Inc()
+
+	if got := a.Counter("work").Value(); got != 3 {
+		t.Fatalf("child a = %d, want 3 (isolated from sibling)", got)
+	}
+	if got := b.Counter("work").Value(); got != 7 {
+		t.Fatalf("child b = %d, want 7", got)
+	}
+	if got := parent.Counter("work").Value(); got != 11 {
+		t.Fatalf("parent = %d, want 11 (3 + 7 + 1)", got)
+	}
+}
+
+func TestChildGaugeAddPropagatesSetDoesNot(t *testing.T) {
+	parent := NewRegistry()
+	child := parent.NewChild()
+
+	child.Gauge("inflight").Add(2)
+	if got := parent.Gauge("inflight").Value(); got != 2 {
+		t.Fatalf("parent gauge after child Add = %d, want 2", got)
+	}
+	// Set is a local assignment: "this job has 5 in flight" is not a
+	// statement about the fleet, so it must not clobber the parent.
+	child.Gauge("inflight").Set(5)
+	if got := child.Gauge("inflight").Value(); got != 5 {
+		t.Fatalf("child gauge = %d, want 5", got)
+	}
+	if got := parent.Gauge("inflight").Value(); got != 2 {
+		t.Fatalf("parent gauge after child Set = %d, want 2 (Set is local)", got)
+	}
+}
+
+func TestChildTimerPropagates(t *testing.T) {
+	parent := NewRegistry()
+	child := parent.NewChild()
+	child.Timer("latency").ObserveDuration(10 * time.Millisecond)
+	child.Timer("latency").ObserveDuration(30 * time.Millisecond)
+	if got := parent.Timer("latency").Stats().Count; got != 2 {
+		t.Fatalf("parent timer count = %d, want 2", got)
+	}
+	if got := child.Timer("latency").Stats().Count; got != 2 {
+		t.Fatalf("child timer count = %d, want 2", got)
+	}
+}
+
+// TestChildrenSumToParent is the isolation invariant the job service
+// depends on: many children updating concurrently never lose or double a
+// count, and the parent is exactly the sum.
+func TestChildrenSumToParent(t *testing.T) {
+	parent := NewRegistry()
+	const children, perChild = 8, 1000
+	var wg sync.WaitGroup
+	kids := make([]*Registry, children)
+	for i := range kids {
+		kids[i] = parent.NewChild()
+	}
+	for _, kid := range kids {
+		kid := kid
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perChild; i++ {
+				kid.Counter("ops").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	var sum int64
+	for _, kid := range kids {
+		if got := kid.Counter("ops").Value(); got != perChild {
+			t.Fatalf("child = %d, want %d", got, perChild)
+		}
+		sum += kid.Counter("ops").Value()
+	}
+	if got := parent.Counter("ops").Value(); got != sum {
+		t.Fatalf("parent = %d, want sum of children %d", got, sum)
+	}
+}

@@ -31,9 +31,12 @@ import (
 )
 
 // Counter is a monotonically increasing count. All methods on a nil
-// *Counter are no-ops, matching the nil-registry contract.
+// *Counter are no-ops, matching the nil-registry contract. Counters handed
+// out by a child registry (NewChild) carry a parent handle and propagate
+// every update to it.
 type Counter struct {
-	v atomic.Int64
+	v      atomic.Int64
+	parent *Counter
 }
 
 // Inc adds one.
@@ -45,6 +48,7 @@ func (c *Counter) Add(delta int64) {
 		return
 	}
 	c.v.Add(delta)
+	c.parent.Add(delta)
 }
 
 // Value returns the current count.
@@ -56,11 +60,16 @@ func (c *Counter) Value() int64 {
 }
 
 // Gauge is a value that can move both ways (queue depths, live trackers).
+// Child-registry gauges propagate relative moves (Add) to their parent, so
+// the parent sees the aggregate level across children; Set stores an
+// absolute value and is deliberately local — absolute levels from different
+// children do not compose.
 type Gauge struct {
-	v atomic.Int64
+	v      atomic.Int64
+	parent *Gauge
 }
 
-// Set stores the value.
+// Set stores the value. Never propagated to a parent gauge.
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
@@ -74,6 +83,7 @@ func (g *Gauge) Add(delta int64) {
 		return
 	}
 	g.v.Add(delta)
+	g.parent.Add(delta)
 }
 
 // Value returns the current value.
@@ -92,6 +102,8 @@ const timerSampleCap = 4096
 // Timer accumulates duration observations (in seconds) with exact
 // count/sum/min/max and a decimated sample for percentiles.
 type Timer struct {
+	parent *Timer
+
 	mu     sync.Mutex
 	count  int64
 	sum    float64
@@ -107,6 +119,7 @@ func (t *Timer) Observe(v float64) {
 	if t == nil {
 		return
 	}
+	t.parent.Observe(v)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.count == 0 || v < t.min {
@@ -192,6 +205,8 @@ func percentile(sorted []float64, p float64) float64 {
 // with NewRegistry — but a nil *Registry is: every method returns a nil
 // handle or zero snapshot, and nil handles absorb updates.
 type Registry struct {
+	parent *Registry // set for child registries; updates propagate up
+
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -207,6 +222,24 @@ func NewRegistry() *Registry {
 	}
 }
 
+// NewChild creates a registry scoped under r: every update to a child
+// metric also feeds the same-named metric in r (and transitively in r's own
+// parent). This is how a long-lived job service isolates per-job metrics
+// without losing service-wide totals — each job records into its own child
+// registry (so concurrent jobs never bleed counters into each other's
+// report), while the parent accumulates the fleet aggregate; per-job
+// counters sum exactly to the parent's totals. Gauge.Set is the one
+// non-propagating update (absolute levels do not compose). A nil receiver
+// returns a fresh parentless registry.
+func (r *Registry) NewChild() *Registry {
+	if r == nil {
+		return NewRegistry()
+	}
+	c := NewRegistry()
+	c.parent = r
+	return c
+}
+
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
@@ -216,7 +249,7 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
-		c = &Counter{}
+		c = &Counter{parent: r.parent.Counter(name)}
 		r.counters[name] = c
 	}
 	return c
@@ -231,7 +264,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
-		g = &Gauge{}
+		g = &Gauge{parent: r.parent.Gauge(name)}
 		r.gauges[name] = g
 	}
 	return g
@@ -246,7 +279,7 @@ func (r *Registry) Timer(name string) *Timer {
 	defer r.mu.Unlock()
 	t, ok := r.timers[name]
 	if !ok {
-		t = &Timer{}
+		t = &Timer{parent: r.parent.Timer(name)}
 		r.timers[name] = t
 	}
 	return t

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"github.com/ict-repro/mpid/internal/kv"
+	"github.com/ict-repro/mpid/internal/mapred"
+	"github.com/ict-repro/mpid/internal/workload"
+)
+
+// Workload builds a runnable job from wire-encodable parameters. Jobs
+// carry function values, which cannot cross the RPC boundary; remote
+// submissions instead name a registered workload and pass integer
+// parameters, and the daemon constructs the job server-side — the
+// job-jar-by-name model, scaled down.
+type Workload func(params map[string]int64) (mapred.Job, []mapred.Split, error)
+
+// Workloads is a named workload registry for the RPC front-end.
+type Workloads struct {
+	mu sync.Mutex
+	m  map[string]Workload
+}
+
+// NewWorkloads creates a registry with the built-in "wordcount" already
+// registered.
+func NewWorkloads() *Workloads {
+	w := &Workloads{m: make(map[string]Workload)}
+	w.Register("wordcount", WordCount)
+	return w
+}
+
+// Register adds (or replaces) a named workload.
+func (w *Workloads) Register(name string, fn Workload) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.m[name] = fn
+}
+
+// Build constructs the named workload's job.
+func (w *Workloads) Build(name string, params map[string]int64) (mapred.Job, []mapred.Split, error) {
+	w.mu.Lock()
+	fn, ok := w.m[name]
+	w.mu.Unlock()
+	if !ok {
+		return mapred.Job{}, nil, fmt.Errorf("serve: unknown workload %q", name)
+	}
+	return fn(params)
+}
+
+// param reads an integer parameter with a default.
+func param(params map[string]int64, key string, def int64) int64 {
+	if v, ok := params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// WordCount is the built-in workload: Zipf-distributed synthetic text
+// through the canonical WordCount job — the same job shape the paper's
+// live engine comparison runs. Parameters (all optional):
+//
+//	bytes     input size in bytes (default 32768)
+//	split     split size in bytes (default 8192)
+//	reducers  reduce task count (default 2)
+//	seed      text generator seed (default 1) — same seed, same input,
+//	          same output, which is what makes cross-run digests comparable
+func WordCount(params map[string]int64) (mapred.Job, []mapred.Split, error) {
+	size := param(params, "bytes", 32<<10)
+	split := param(params, "split", 8<<10)
+	reducers := param(params, "reducers", 2)
+	seed := param(params, "seed", 1)
+	if size <= 0 || split <= 0 || reducers <= 0 {
+		return mapred.Job{}, nil, fmt.Errorf("serve: wordcount params out of range (bytes=%d split=%d reducers=%d)", size, split, reducers)
+	}
+
+	vocab := workload.NewVocabulary(500, seed)
+	text := workload.NewTextGenerator(vocab, 1.15, seed).BytesOfText(int(size))
+	splits := mapred.SplitText(text, int(split))
+
+	mapper := mapred.MapperFunc(func(_, line []byte, emit mapred.Emit) error {
+		for _, w := range bytes.Fields(line) {
+			if err := emit(w, kv.AppendVLong(nil, 1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	reducer := mapred.ReducerFunc(func(key []byte, values [][]byte, emit mapred.Emit) error {
+		var total int64
+		for _, v := range values {
+			n, _, err := kv.ReadVLong(v)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		return emit(key, kv.AppendVLong(nil, total))
+	})
+	job := mapred.Job{
+		Name:        "serve-wordcount",
+		Mapper:      mapper,
+		Reducer:     reducer,
+		Combiner:    mapred.CombinerFromReducer(reducer),
+		NumReducers: int(reducers),
+	}
+	return job, splits, nil
+}

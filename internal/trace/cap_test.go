@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+)
+
+// A long-lived daemon folds every job's spans into one service-wide
+// collector; SetCap bounds that collector by dropping the oldest spans and
+// counting what it dropped.
+
+func TestSetCapBoundsCollector(t *testing.T) {
+	tr := New("svc")
+	tr.SetCap(10)
+	for i := 0; i < 25; i++ {
+		s := tr.StartRoot(fmt.Sprintf("span%d", i), "test")
+		s.End()
+	}
+	if got := tr.Len(); got != 10 {
+		t.Fatalf("Len = %d, want cap 10", got)
+	}
+	if got := tr.Dropped(); got != 15 {
+		t.Fatalf("Dropped = %d, want 15", got)
+	}
+	// The survivors are the newest spans.
+	spans := tr.Spans()
+	if got := spans[0].Name; got != "span15" {
+		t.Fatalf("oldest retained span = %q, want span15", got)
+	}
+	if got := spans[len(spans)-1].Name; got != "span24" {
+		t.Fatalf("newest retained span = %q, want span24", got)
+	}
+}
+
+func TestSetCapAppliesToAdd(t *testing.T) {
+	src := New("job")
+	for i := 0; i < 8; i++ {
+		src.StartRoot(fmt.Sprintf("j%d", i), "test").End()
+	}
+	dst := New("svc")
+	dst.SetCap(5)
+	dst.Add(src.Drain()...)
+	if got := dst.Len(); got != 5 {
+		t.Fatalf("Len after Add = %d, want 5", got)
+	}
+	if got := dst.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+}
+
+func TestNoCapKeepsEverything(t *testing.T) {
+	tr := New("svc")
+	for i := 0; i < 100; i++ {
+		tr.StartRoot("s", "test").End()
+	}
+	if got := tr.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100 without a cap", got)
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d, want 0", got)
+	}
+}

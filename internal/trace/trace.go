@@ -97,8 +97,10 @@ func newID() uint64 { return idCounter.Add(1) }
 type Tracer struct {
 	proc string
 
-	mu   sync.Mutex
-	done []Span // finished spans awaiting Drain/Spans
+	mu      sync.Mutex
+	done    []Span // finished spans awaiting Drain/Spans
+	cap     int    // when > 0, retain only the newest cap finished spans
+	dropped uint64 // spans discarded by the cap
 }
 
 // New creates a tracer whose spans are labelled with the given process
@@ -183,6 +185,44 @@ func (t *Tracer) Instant(parent Context, name, kind string, notes ...Annotation)
 	s.End()
 }
 
+// SetCap bounds the number of finished spans the tracer retains: once more
+// than n accumulate, the oldest are discarded (counted by Dropped). A
+// per-job tracer never needs this — one job's spans are bounded — but a
+// long-lived daemon aggregating every job's spans into one admin view
+// would otherwise grow without limit. n <= 0 removes the bound.
+func (t *Tracer) SetCap(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.cap = n
+	t.trimLocked()
+	t.mu.Unlock()
+}
+
+// Dropped reports how many finished spans the retention cap has discarded.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// trimLocked enforces the retention cap, keeping the newest spans.
+func (t *Tracer) trimLocked() {
+	if t.cap <= 0 || len(t.done) <= t.cap {
+		return
+	}
+	drop := len(t.done) - t.cap
+	t.dropped += uint64(drop)
+	// Copy down rather than re-slicing so the dropped prefix is freed.
+	kept := make([]Span, t.cap)
+	copy(kept, t.done[drop:])
+	t.done = kept
+}
+
 // Add merges finished spans (typically decoded from a remote tracer's
 // Drain) into this collector.
 func (t *Tracer) Add(spans ...Span) {
@@ -191,6 +231,7 @@ func (t *Tracer) Add(spans ...Span) {
 	}
 	t.mu.Lock()
 	t.done = append(t.done, spans...)
+	t.trimLocked()
 	t.mu.Unlock()
 }
 
@@ -280,6 +321,7 @@ func (s *Span) End() {
 	rec.tracer = nil
 	rec.Notes = append([]Annotation(nil), s.Notes...)
 	t.done = append(t.done, rec)
+	t.trimLocked()
 	t.mu.Unlock()
 }
 
