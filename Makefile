@@ -39,16 +39,18 @@ bench:
 	go run ./cmd/mpid-bench -o BENCH_shuffle.json
 	go run ./cmd/mpid-bench -suite mpid -o BENCH_mpid.json
 	go run ./cmd/mpid-bench -suite serve -o BENCH_serve.json
+	go run ./cmd/mpid-bench -suite workloads -o BENCH_workloads.json
 
 # One iteration of every benchmark — a CI smoke test that the bench code
 # still compiles and runs, without the timing noise of a real bench run —
 # plus seconds-scale A/B runs producing the BENCH_shuffle.json,
-# BENCH_mpid.json and BENCH_serve.json CI artifacts.
+# BENCH_mpid.json, BENCH_serve.json and BENCH_workloads.json CI artifacts.
 bench-smoke:
 	go test -bench=. -benchtime=1x ./...
 	go run ./cmd/mpid-bench -smoke -o BENCH_shuffle.json
 	go run ./cmd/mpid-bench -suite mpid -smoke -o BENCH_mpid.json
 	go run ./cmd/mpid-bench -suite serve -smoke -o BENCH_serve.json
+	go run ./cmd/mpid-bench -suite workloads -smoke -o BENCH_workloads.json
 
 # Documentation lint: every internal package must carry a package doc
 # comment, and every local markdown link in the top-level docs must

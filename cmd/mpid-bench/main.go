@@ -11,18 +11,25 @@
 //     clients submitting WordCount jobs through mpid-serve's RPC
 //     front-end, reporting p50/p99 job latency, backpressure counts and
 //     the cross-tenant fairness ratio — written as BENCH_serve.json.
+//   - suite "workloads": the full workload suite — WordCount, TeraSort
+//     (uniform and Zipf-skewed keys), inverted index, grep, two-table
+//     join, chained multi-round PageRank — each run on the fast MPI-D
+//     core, legacy core and mini-Hadoop engine, gated on byte-identical
+//     output before timing, reporting per-workload p50 times and shuffle
+//     bytes — written as BENCH_workloads.json.
 //
-//	mpid-bench -o BENCH_shuffle.json                  full shuffle baseline
-//	mpid-bench -suite mpid -o BENCH_mpid.json         full MPI-D core baseline
-//	mpid-bench -suite serve -o BENCH_serve.json       full job-service soak
-//	mpid-bench -suite mpid -smoke -o /tmp/bench.json  seconds-scale CI smoke run
+//	mpid-bench -o BENCH_shuffle.json                        full shuffle baseline
+//	mpid-bench -suite mpid -o BENCH_mpid.json               full MPI-D core baseline
+//	mpid-bench -suite serve -o BENCH_serve.json             full job-service soak
+//	mpid-bench -suite workloads -o BENCH_workloads.json     full workload suite
+//	mpid-bench -suite workloads -smoke -o /tmp/bench.json   seconds-scale CI smoke run
 //
 // Flags override individual workload knobs (shuffle: -maps, -reducers,
 // -keys, -vocab, -copiers, -factor; mpid: -size, -reducers, -vocab;
-// serve: -tenants, -jobs, -slots, -queue, -size, -reducers; common:
-// -reps, -seed). Each suite validates output equality before timing
-// anything, prints its summary table to stdout, and exits non-zero if
-// the run fails.
+// serve: -tenants, -jobs, -slots, -queue, -size, -reducers; workloads:
+// -mappers, -rounds; common: -reps, -seed). Each suite validates output
+// equality before timing anything, prints its summary table to stdout,
+// and exits non-zero if the run fails.
 package main
 
 import (
@@ -35,7 +42,7 @@ import (
 )
 
 func main() {
-	suite := flag.String("suite", "shuffle", "benchmark suite: shuffle | mpid | serve")
+	suite := flag.String("suite", "shuffle", "benchmark suite: shuffle | mpid | serve | workloads")
 	out := flag.String("o", "", "write the result JSON to this file (e.g. BENCH_shuffle.json)")
 	smoke := flag.Bool("smoke", false, "use the seconds-scale smoke configuration")
 	maps := flag.Int("maps", 0, "shuffle: map segments per reducer")
@@ -51,6 +58,8 @@ func main() {
 	queue := flag.Int("queue", 0, "serve: admission queue depth")
 	reps := flag.Int("reps", 0, "override: repetitions per engine (best kept)")
 	seed := flag.Int64("seed", 0, "override: workload seed")
+	mappers := flag.Int("mappers", 0, "workloads: mapper rank / tracker count")
+	rounds := flag.Int("rounds", 0, "workloads: chained PageRank rounds")
 	flag.Parse()
 
 	switch *suite {
@@ -153,8 +162,30 @@ func main() {
 		fmt.Print(experiments.RenderServeBench(res))
 		write(*out, func() ([]byte, error) { return experiments.MarshalServeBench(res) })
 
+	case "workloads":
+		cfg := experiments.DefaultWorkloadBench()
+		if *smoke {
+			cfg = experiments.SmokeWorkloadBench()
+		}
+		if *mappers > 0 {
+			cfg.Mappers = *mappers
+		}
+		if *rounds > 0 {
+			cfg.PageRankRounds = *rounds
+		}
+		if *reps > 0 {
+			cfg.Reps = *reps
+		}
+		res, err := experiments.RunWorkloadBench(cfg)
+		if err != nil {
+			fail(err)
+		}
+		res.Timestamp = time.Now().UTC().Format(time.RFC3339)
+		fmt.Print(experiments.RenderWorkloadBench(res))
+		write(*out, func() ([]byte, error) { return experiments.MarshalWorkloadBench(res) })
+
 	default:
-		fail(fmt.Errorf("unknown suite %q (want shuffle, mpid or serve)", *suite))
+		fail(fmt.Errorf("unknown suite %q (want shuffle, mpid, serve or workloads)", *suite))
 	}
 }
 

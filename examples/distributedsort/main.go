@@ -3,7 +3,9 @@
 //
 // Identity map, identity reduce, and a range partitioner (instead of the
 // hash-mod default) so that concatenating the reducers' outputs in reducer
-// order yields a globally sorted sequence — the TeraSort recipe. MPI-D's
+// order yields a globally sorted sequence — the TeraSort recipe. The range
+// boundaries are sampled from the input (core.SampleCuts), so partitions
+// stay balanced whatever the key distribution looks like. MPI-D's
 // SortValues option is switched on to demonstrate the §IV.A on-demand
 // value sorting during realignment.
 //
@@ -48,11 +50,18 @@ func main() {
 		return nil
 	})
 
+	// Sample every 50th key for the range boundaries, as TeraSort samples
+	// its input before launching the job.
+	var sample [][]byte
+	for i := 0; i < len(pairs); i += 50 {
+		sample = append(sample, pairs[i].Key)
+	}
+
 	job := mapred.Job{
 		Name:        "distributed-sort",
 		Mapper:      identityMap,
 		Reducer:     identityReduce,
-		Partitioner: core.FirstByteRangePartitioner,
+		Partitioner: core.RangePartitioner(core.SampleCuts(sample, 8)),
 		NumReducers: 8,
 		SortValues:  true,
 	}

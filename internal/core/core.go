@@ -320,8 +320,11 @@ func HashPartitioner(key []byte, n int) int {
 }
 
 // FirstByteRangePartitioner splits keys by first byte into n contiguous
-// ranges — the sort-friendly partitioner used by the distributed sort
-// example (TeraSort-style).
+// ranges — the original sort-friendly partitioner. It assumes first bytes
+// are uniform over the whole byte range, which real key distributions are
+// not: skewed or narrow-alphabet keys pile into a handful of partitions.
+// Kept as the naive baseline; use RangePartitioner over SampleCuts for
+// real distributions (TeraSort's sampled partitioner).
 func FirstByteRangePartitioner(key []byte, n int) int {
 	if len(key) == 0 {
 		return 0
@@ -331,6 +334,52 @@ func FirstByteRangePartitioner(key []byte, n int) int {
 		p = n - 1
 	}
 	return p
+}
+
+// SampleCuts derives at most n-1 range boundaries from a key sample, the
+// TeraSort recipe: sort the sample and take evenly spaced order statistics,
+// so each resulting range holds roughly the same share of the sampled
+// distribution however skewed it is. Adjacent duplicate boundaries (a key
+// so hot it spans several quantiles) are collapsed, so heavily skewed
+// samples may yield fewer cuts — correctness is unaffected, equal keys
+// always land in one partition. The sample is not modified.
+func SampleCuts(sample [][]byte, n int) [][]byte {
+	if n <= 1 || len(sample) == 0 {
+		return nil
+	}
+	sorted := make([][]byte, len(sample))
+	copy(sorted, sample)
+	sort.Slice(sorted, func(i, j int) bool { return kv.Compare(sorted[i], sorted[j]) < 0 })
+	var cuts [][]byte
+	for i := 1; i < n; i++ {
+		cut := sorted[i*len(sorted)/n]
+		if len(cuts) > 0 && kv.Compare(cuts[len(cuts)-1], cut) == 0 {
+			continue
+		}
+		cuts = append(cuts, append([]byte(nil), cut...))
+	}
+	return cuts
+}
+
+// RangePartitioner builds a PartitionFunc from sorted range boundaries
+// (normally SampleCuts output): keys below cuts[0] map to partition 0, keys
+// in [cuts[i-1], cuts[i]) to partition i, keys at or above the last cut to
+// partition len(cuts). Concatenating reducer outputs in partition order
+// then yields a globally sorted sequence. The function is pure and
+// deterministic, so every engine running the same job partitions
+// identically — a requirement of the cross-engine equality gates.
+func RangePartitioner(cuts [][]byte) PartitionFunc {
+	owned := make([][]byte, len(cuts))
+	for i, c := range cuts {
+		owned[i] = append([]byte(nil), c...)
+	}
+	return func(key []byte, n int) int {
+		p := sort.Search(len(owned), func(i int) bool { return kv.Compare(key, owned[i]) < 0 })
+		if p >= n {
+			p = n - 1
+		}
+		return p
+	}
 }
 
 // sortValueList orders a value list lexicographically (SortValues option).

@@ -6,7 +6,6 @@ import (
 
 	"github.com/ict-repro/mpid/internal/dfs"
 	"github.com/ict-repro/mpid/internal/kv"
-	"github.com/ict-repro/mpid/internal/workload"
 )
 
 // writeDFS stores text in a fresh dfs cluster and returns the namenode.
@@ -131,8 +130,7 @@ func TestWordCountJobOverDFS(t *testing.T) {
 	// Full pipeline: generate text, store it in the mini-HDFS, run the
 	// real MPI-D WordCount over DFS splits, compare with the sequential
 	// reference.
-	vocab := workload.NewVocabulary(300, 5)
-	text := workload.NewTextGenerator(vocab, 1.1, 6).BytesOfText(40_000)
+	text := genText(40_000, 6)
 	nn := writeDFS(t, text, 4096)
 
 	splits, err := DFSSplits(nn, "/input.txt")
@@ -168,8 +166,7 @@ func TestWordCountJobOverDFS(t *testing.T) {
 func TestWordCountJobOverDFSWithNodeFailure(t *testing.T) {
 	// Replication means the job still sees every record after a datanode
 	// dies between write and read.
-	vocab := workload.NewVocabulary(100, 8)
-	text := workload.NewTextGenerator(vocab, 1.1, 9).BytesOfText(10_000)
+	text := genText(10_000, 9)
 	nn := writeDFS(t, text, 2048)
 	nn.DataNode(0).Fail()
 

@@ -10,6 +10,7 @@
 package mapred
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 	"github.com/ict-repro/mpid/internal/bufpool"
 	"github.com/ict-repro/mpid/internal/core"
 	"github.com/ict-repro/mpid/internal/kv"
+	"github.com/ict-repro/mpid/internal/metrics"
 	"github.com/ict-repro/mpid/internal/mpi"
 )
 
@@ -51,17 +53,41 @@ func (f ReducerFunc) Reduce(key []byte, values [][]byte, emit Emit) error {
 // CombinerFromReducer derives an MPI-D combiner from a reducer, the common
 // Hadoop idiom the paper notes ("the combine function ... is always
 // assigned as the reduce function"). The reducer must emit values under the
-// same key for this to be sound.
+// same key for this to be sound; an emission under any other key would be
+// silently re-filed under the input key and corrupt the shuffle, so the
+// combiner checks every emitted key and falls back to not combining when
+// one differs. CombinerFromReducerObserved additionally counts fallbacks.
 func CombinerFromReducer(r Reducer) core.CombineFunc {
+	return CombinerFromReducerObserved(r, nil)
+}
+
+// CombinerFromReducerObserved is CombinerFromReducer with a metrics hook:
+// every fallback (reducer error, or an emission whose key differs from the
+// combined key) increments mapred.combiner.fallback on reg, and key
+// mismatches additionally increment mapred.combiner.key_mismatch. A nil
+// registry records nothing.
+func CombinerFromReducerObserved(r Reducer, reg *metrics.Registry) core.CombineFunc {
+	fallbacks := reg.Counter("mapred.combiner.fallback")
+	mismatches := reg.Counter("mapred.combiner.key_mismatch")
 	return func(key []byte, values [][]byte) [][]byte {
 		var out [][]byte
-		err := r.Reduce(key, values, func(_, v []byte) error {
+		mismatch := false
+		err := r.Reduce(key, values, func(k, v []byte) error {
+			if !bytes.Equal(k, key) {
+				mismatch = true
+			}
 			out = append(out, append([]byte(nil), v...))
 			return nil
 		})
-		if err != nil {
-			// A combiner has no error channel (it runs inside Send);
-			// fall back to not combining rather than corrupting data.
+		if mismatch {
+			mismatches.Inc()
+		}
+		if err != nil || mismatch {
+			// A combiner has no error channel (it runs inside Send), and a
+			// reducer emitting under a different key cannot be re-filed
+			// under this one; fall back to not combining rather than
+			// corrupting data.
+			fallbacks.Inc()
 			return values
 		}
 		return out
@@ -129,14 +155,24 @@ type Result struct {
 	MaxTaskExecutions int
 }
 
-// Pairs returns all output pairs merged and sorted by key, the equivalent
-// of concatenating the part-r-* files and sorting.
+// Pairs returns all output pairs merged and canonically sorted, the
+// equivalent of concatenating the part-r-* files and sorting. The order is
+// total — (key, value), with equal pairs kept in reducer order by a stable
+// sort — so two results holding the same multiset of pairs render the same
+// sequence even when duplicate keys land on different reducers. (A key-only
+// unstable sort here made every duplicate-key workload's canonical output
+// flip nondeterministically between runs.)
 func (r *Result) Pairs() []kv.Pair {
 	var all []kv.Pair
 	for _, pairs := range r.ByReducer {
 		all = append(all, pairs...)
 	}
-	sort.Slice(all, func(i, j int) bool { return kv.Compare(all[i].Key, all[j].Key) < 0 })
+	sort.SliceStable(all, func(i, j int) bool {
+		if c := kv.Compare(all[i].Key, all[j].Key); c != 0 {
+			return c < 0
+		}
+		return kv.Compare(all[i].Value, all[j].Value) < 0
+	})
 	return all
 }
 

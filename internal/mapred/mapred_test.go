@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -11,7 +12,6 @@ import (
 
 	"github.com/ict-repro/mpid/internal/core"
 	"github.com/ict-repro/mpid/internal/kv"
-	"github.com/ict-repro/mpid/internal/workload"
 )
 
 // wordCountMapper splits a line into words and emits (word, 1).
@@ -61,10 +61,24 @@ func decodeCountPairs(t *testing.T, pairs []kv.Pair) map[string]int64 {
 	return out
 }
 
+// genText produces deterministic newline-delimited text of roughly size
+// bytes from a 300-word pool. It stands in for the workload package's text
+// generator, which can no longer be imported here: workload now depends on
+// mapred, so an internal mapred test importing it would be a cycle.
 func genText(size int, seed int64) []byte {
-	vocab := workload.NewVocabulary(300, seed)
-	gen := workload.NewTextGenerator(vocab, 1.1, seed+1)
-	return gen.BytesOfText(size)
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for b.Len() < size {
+		words := 3 + rng.Intn(8)
+		for i := 0; i < words; i++ {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "w%04d", rng.Intn(300))
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
 }
 
 func TestWordCountJobEndToEnd(t *testing.T) {
@@ -202,11 +216,14 @@ func TestCombinerReducesTraffic(t *testing.T) {
 func TestDistributedSortJob(t *testing.T) {
 	// The JavaSort shape: identity map, identity reduce, range partitioner
 	// so concatenating reducer outputs yields a globally sorted sequence.
-	gen := workload.NewSortGenerator(7)
-	records := gen.Records(2_000)
+	rng := rand.New(rand.NewSource(7))
 	var pairs []kv.Pair
-	for _, r := range records {
-		pairs = append(pairs, kv.Pair{Key: r.Key, Value: r.Value})
+	for i := 0; i < 2_000; i++ {
+		key := make([]byte, 10)
+		for j := range key {
+			key[j] = byte(' ' + rng.Intn(95))
+		}
+		pairs = append(pairs, kv.Pair{Key: key, Value: []byte(fmt.Sprintf("rec-%06d", i))})
 	}
 	splits := []Split{
 		NewPairSplit(0, pairs[:500]),

@@ -49,6 +49,37 @@ func decodeSaturated(msg string) (*SaturatedError, bool) {
 	}, true
 }
 
+// badParamPrefix marks an unknown-parameter rejection on the wire, so a
+// client typo surfaces as the same typed *BadParamError the local API
+// returns instead of an opaque remote failure.
+const badParamPrefix = "BADPARAM"
+
+// encodeBadParam renders a BadParamError as a parseable remote-error
+// message: "BADPARAM workload=terasort param=reducer known=records,reducers".
+func encodeBadParam(e *BadParamError) string {
+	return fmt.Sprintf("%s workload=%s param=%s known=%s",
+		badParamPrefix, e.Workload, e.Param, strings.Join(e.Known, ","))
+}
+
+// decodeBadParam reconstructs a *BadParamError from a remote error's text,
+// reporting whether the text carried one.
+func decodeBadParam(msg string) (*BadParamError, bool) {
+	i := strings.Index(msg, badParamPrefix)
+	if i < 0 {
+		return nil, false
+	}
+	var wl, param, known string
+	n, err := fmt.Sscanf(msg[i:], badParamPrefix+" workload=%s param=%s known=%s", &wl, &param, &known)
+	if err != nil && n < 2 {
+		return nil, false
+	}
+	e := &BadParamError{Workload: wl, Param: param}
+	if known != "" {
+		e.Known = strings.Split(known, ",")
+	}
+	return e, true
+}
+
 // NewProtocol builds the RPC protocol serving the job service:
 //
 //	submit(tenant, workload, paramsJSON) -> jobID
@@ -77,6 +108,10 @@ func NewProtocol(s *Service, workloads *Workloads) *hadooprpc.Protocol {
 				}
 				job, splits, err := workloads.Build(name, args)
 				if err != nil {
+					var bad *BadParamError
+					if errors.As(err, &bad) {
+						return nil, errors.New(encodeBadParam(bad))
+					}
 					return nil, err
 				}
 				j, err := s.Submit(tenant, name, job, splits)
@@ -147,7 +182,9 @@ func DialService(addr string, opts hadooprpc.Options) (*Client, error) {
 
 // Submit submits a named workload for a tenant and returns the job id. A
 // saturated service surfaces as a *SaturatedError (errors.Is(err,
-// ErrSaturated)); a draining one as an error wrapping ErrDraining's text.
+// ErrSaturated)); a submission naming a parameter the workload does not
+// accept as a *BadParamError (errors.Is(err, ErrBadParam)); a draining
+// service as an error wrapping ErrDraining's text.
 func (c *Client) Submit(tenant, workload string, params map[string]int64) (int64, error) {
 	blob, err := json.Marshal(params)
 	if err != nil {
@@ -157,6 +194,9 @@ func (c *Client) Submit(tenant, workload string, params map[string]int64) (int64
 	if err != nil {
 		if sat, ok := decodeSaturated(err.Error()); ok {
 			return 0, sat
+		}
+		if bad, ok := decodeBadParam(err.Error()); ok {
+			return 0, bad
 		}
 		return 0, err
 	}

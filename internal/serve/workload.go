@@ -1,11 +1,12 @@
 package serve
 
 import (
-	"bytes"
+	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
-	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mapred"
 	"github.com/ict-repro/mpid/internal/workload"
 )
@@ -17,93 +18,105 @@ import (
 // job-jar-by-name model, scaled down.
 type Workload func(params map[string]int64) (mapred.Job, []mapred.Split, error)
 
+// ErrBadParam is the unknown-parameter sentinel: errors.Is(err,
+// ErrBadParam) is true for every *BadParamError, however it traveled.
+var ErrBadParam = errors.New("serve: unknown workload parameter")
+
+// BadParamError rejects a submission naming a parameter the workload does
+// not accept. Unknown names used to be silently ignored, so a client typo
+// (`reducer` for `reducers`) ran the default configuration and returned a
+// digest that "passed" against the wrong job; now the submission fails
+// loudly, and the error survives the RPC wire (see Client.Submit).
+type BadParamError struct {
+	// Workload is the submitted workload name.
+	Workload string
+	// Param is the offending parameter name.
+	Param string
+	// Known lists the parameter names the workload accepts, sorted.
+	Known []string
+}
+
+func (e *BadParamError) Error() string {
+	return fmt.Sprintf("serve: workload %q has no parameter %q (known: %s)",
+		e.Workload, e.Param, strings.Join(e.Known, ", "))
+}
+
+// Is makes errors.Is(err, ErrBadParam) match.
+func (e *BadParamError) Is(target error) bool { return target == ErrBadParam }
+
+// registered is one registry entry: the builder plus its declared
+// parameter names.
+type registered struct {
+	fn     Workload
+	params map[string]bool
+}
+
 // Workloads is a named workload registry for the RPC front-end.
 type Workloads struct {
 	mu sync.Mutex
-	m  map[string]Workload
+	m  map[string]registered
 }
 
-// NewWorkloads creates a registry with the built-in "wordcount" already
-// registered.
+// NewWorkloads creates a registry pre-loaded with the full workload suite
+// (workload.Suite): wordcount, terasort, invindex, grep, join, pagerank.
 func NewWorkloads() *Workloads {
-	w := &Workloads{m: make(map[string]Workload)}
-	w.Register("wordcount", WordCount)
+	w := &Workloads{m: make(map[string]registered)}
+	for _, spec := range workload.Suite() {
+		w.Register(spec.Name, spec.Build, spec.Params...)
+	}
 	return w
 }
 
-// Register adds (or replaces) a named workload.
-func (w *Workloads) Register(name string, fn Workload) {
+// Register adds (or replaces) a named workload. params declares every
+// parameter name the builder accepts; Build rejects submissions naming any
+// other parameter.
+func (w *Workloads) Register(name string, fn Workload, params ...string) {
+	known := make(map[string]bool, len(params))
+	for _, p := range params {
+		known[p] = true
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.m[name] = fn
+	w.m[name] = registered{fn: fn, params: known}
 }
 
-// Build constructs the named workload's job.
+// Names lists the registered workloads, sorted.
+func (w *Workloads) Names() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	names := make([]string, 0, len(w.m))
+	for name := range w.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Build constructs the named workload's job, rejecting unknown workload
+// names and — with a typed *BadParamError — unknown parameter names.
 func (w *Workloads) Build(name string, params map[string]int64) (mapred.Job, []mapred.Split, error) {
 	w.mu.Lock()
-	fn, ok := w.m[name]
+	reg, ok := w.m[name]
 	w.mu.Unlock()
 	if !ok {
 		return mapred.Job{}, nil, fmt.Errorf("serve: unknown workload %q", name)
 	}
-	return fn(params)
-}
-
-// param reads an integer parameter with a default.
-func param(params map[string]int64, key string, def int64) int64 {
-	if v, ok := params[key]; ok {
-		return v
+	for p := range params {
+		if !reg.params[p] {
+			known := make([]string, 0, len(reg.params))
+			for k := range reg.params {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return mapred.Job{}, nil, &BadParamError{Workload: name, Param: p, Known: known}
+		}
 	}
-	return def
+	return reg.fn(params)
 }
 
-// WordCount is the built-in workload: Zipf-distributed synthetic text
-// through the canonical WordCount job — the same job shape the paper's
-// live engine comparison runs. Parameters (all optional):
-//
-//	bytes     input size in bytes (default 32768)
-//	split     split size in bytes (default 8192)
-//	reducers  reduce task count (default 2)
-//	seed      text generator seed (default 1) — same seed, same input,
-//	          same output, which is what makes cross-run digests comparable
+// WordCount is the built-in WordCount workload, kept as a directly callable
+// builder for tests and embedders; it is the same function the suite
+// registers under "wordcount". See workload.WordCount for the parameters.
 func WordCount(params map[string]int64) (mapred.Job, []mapred.Split, error) {
-	size := param(params, "bytes", 32<<10)
-	split := param(params, "split", 8<<10)
-	reducers := param(params, "reducers", 2)
-	seed := param(params, "seed", 1)
-	if size <= 0 || split <= 0 || reducers <= 0 {
-		return mapred.Job{}, nil, fmt.Errorf("serve: wordcount params out of range (bytes=%d split=%d reducers=%d)", size, split, reducers)
-	}
-
-	vocab := workload.NewVocabulary(500, seed)
-	text := workload.NewTextGenerator(vocab, 1.15, seed).BytesOfText(int(size))
-	splits := mapred.SplitText(text, int(split))
-
-	mapper := mapred.MapperFunc(func(_, line []byte, emit mapred.Emit) error {
-		for _, w := range bytes.Fields(line) {
-			if err := emit(w, kv.AppendVLong(nil, 1)); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	reducer := mapred.ReducerFunc(func(key []byte, values [][]byte, emit mapred.Emit) error {
-		var total int64
-		for _, v := range values {
-			n, _, err := kv.ReadVLong(v)
-			if err != nil {
-				return err
-			}
-			total += n
-		}
-		return emit(key, kv.AppendVLong(nil, total))
-	})
-	job := mapred.Job{
-		Name:        "serve-wordcount",
-		Mapper:      mapper,
-		Reducer:     reducer,
-		Combiner:    mapred.CombinerFromReducer(reducer),
-		NumReducers: int(reducers),
-	}
-	return job, splits, nil
+	return workload.WordCount(params)
 }

@@ -157,6 +157,87 @@ func (g *SortGenerator) Records(n int) []SortRecord {
 // RecordSize returns the byte size of one generated record.
 func (g *SortGenerator) RecordSize() int { return 10 + g.ValueSize }
 
+// SkewedSortGenerator produces sortable records whose keys are drawn from a
+// Zipf distribution over a bounded key universe — the skewed-key
+// configuration the Spark-vs-MPI word count study measures. Unlike
+// SortGenerator's uniform random keys, the same key recurs many times
+// (under s >= 1.5 the hottest key accounts for a large share of all draws)
+// and hot keys cluster at the low end of the key space, which starves naive
+// range partitioners and produces the duplicate-key outputs that stress
+// output canonicalization.
+type SkewedSortGenerator struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	// ValueSize is the filler value length (default 90, as SortGenerator).
+	ValueSize int
+}
+
+// NewSkewedSortGenerator creates a generator drawing keys Zipf(s) over a
+// universe of distinct keys. s must be > 1; smaller universes and larger s
+// mean more duplicates.
+func NewSkewedSortGenerator(seed int64, s float64, universe int) *SkewedSortGenerator {
+	if s <= 1 {
+		s = 1.0001
+	}
+	if universe < 2 {
+		universe = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &SkewedSortGenerator{
+		rng:       rng,
+		zipf:      rand.NewZipf(rng, s, 1, uint64(universe-1)),
+		ValueSize: 90,
+	}
+}
+
+// Record generates one record. The key renders the Zipf draw zero-padded so
+// lexicographic key order matches numeric order.
+func (g *SkewedSortGenerator) Record() SortRecord {
+	key := []byte(fmt.Sprintf("key-%08d", g.zipf.Uint64()))
+	val := make([]byte, g.ValueSize)
+	for i := range val {
+		val[i] = byte('A' + g.rng.Intn(26))
+	}
+	return SortRecord{Key: key, Value: val}
+}
+
+// Records generates n records.
+func (g *SkewedSortGenerator) Records(n int) []SortRecord {
+	out := make([]SortRecord, n)
+	for i := range out {
+		out[i] = g.Record()
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Graph generation (PageRank)
+
+// NewGraph builds a deterministic directed graph: graph[v] lists v's
+// outgoing neighbours. Degrees are spread 1..2*avgDegree so hubs exist, no
+// self-loops, no duplicate edges, and every vertex has at least one
+// outgoing link (no dangling mass).
+func NewGraph(vertices, avgDegree int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	g := make([][]int, vertices)
+	for v := range g {
+		deg := 1 + rng.Intn(2*avgDegree)
+		if deg >= vertices {
+			deg = vertices - 1
+		}
+		seen := make(map[int]bool, deg)
+		for len(g[v]) < deg {
+			u := rng.Intn(vertices)
+			if u == v || seen[u] {
+				continue
+			}
+			seen[u] = true
+			g[v] = append(g[v], u)
+		}
+	}
+	return g
+}
+
 // ---------------------------------------------------------------------------
 // Statistical descriptors used by the simulators. At 150 GB the DES cannot
 // materialize records; it works from these aggregate properties instead.
