@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build vet test race chaos serve-chaos bench bench-smoke docs-lint trace-demo report examples clean
+.PHONY: all check build vet test race chaos serve-chaos bench bench-smoke bench-check docs-lint trace-demo report examples clean
 
 all: build vet test
 
@@ -45,6 +45,13 @@ bench:
 # still compiles and runs, without the timing noise of a real bench run —
 # plus seconds-scale A/B runs producing the BENCH_shuffle.json,
 # BENCH_mpid.json, BENCH_serve.json and BENCH_workloads.json CI artifacts.
+# Regression gate: re-run each suite's smoke config and compare the
+# scale-free headline ratios (speedups, fairness) against the committed
+# BENCH_*.json baselines within a wide tolerance. Non-fatal in CI — a
+# smoke run on shared hardware reports drift, it doesn't block merges.
+bench-check:
+	go run ./cmd/mpid-bench -check
+
 bench-smoke:
 	go test -bench=. -benchtime=1x ./...
 	go run ./cmd/mpid-bench -smoke -o BENCH_shuffle.json

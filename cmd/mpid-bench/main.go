@@ -23,6 +23,14 @@
 //	mpid-bench -suite serve -o BENCH_serve.json             full job-service soak
 //	mpid-bench -suite workloads -o BENCH_workloads.json     full workload suite
 //	mpid-bench -suite workloads -smoke -o /tmp/bench.json   seconds-scale CI smoke run
+//	mpid-bench -check                                       regression gate vs committed baselines
+//
+// -check re-runs every suite's smoke configuration and compares the
+// scale-free headline ratios (speedups, fairness ratio) against the
+// committed BENCH_*.json files in -dir, failing if any drifts beyond
+// -tolerance (default 50% — smoke-scale runs on shared CI hardware are a
+// smoke detector for "the optimization stopped working", not a precision
+// benchmark). Suites without a committed baseline are skipped.
 //
 // Flags override individual workload knobs (shuffle: -maps, -reducers,
 // -keys, -vocab, -copiers, -factor; mpid: -size, -reducers, -vocab;
@@ -60,7 +68,22 @@ func main() {
 	seed := flag.Int64("seed", 0, "override: workload seed")
 	mappers := flag.Int("mappers", 0, "workloads: mapper rank / tracker count")
 	rounds := flag.Int("rounds", 0, "workloads: chained PageRank rounds")
+	check := flag.Bool("check", false, "regression gate: re-run every suite's smoke config and compare against committed BENCH_*.json baselines")
+	tolerance := flag.Float64("tolerance", experiments.DefaultBenchTolerance, "check: relative slack per metric (0.5 = 50%)")
+	dir := flag.String("dir", ".", "check: directory holding the BENCH_*.json baselines")
 	flag.Parse()
+
+	if *check {
+		res, err := experiments.RunBenchCheck(*dir, *tolerance)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.RenderBenchCheck(res))
+		if !res.OK {
+			os.Exit(1)
+		}
+		return
+	}
 
 	switch *suite {
 	case "shuffle":

@@ -17,7 +17,9 @@
 // On the hadoop engine, observability flags are available: -metrics
 // prints the jobtracker's final counter snapshot, -trace FILE writes a
 // Chrome trace-event JSON of every task attempt (and prints an ASCII
-// timeline), and -admin ADDR serves /metrics, /trace.json, /timeline and
+// timeline), -events prints the job's flight-recorder table (attempt
+// lifecycle, spills, retries, faults) to stderr, and -admin ADDR serves
+// /metrics, /metrics.prom, /trace.json, /timeline, /events and
 // /debug/pprof/ live for the job's duration.
 package main
 
@@ -33,6 +35,7 @@ import (
 	"github.com/ict-repro/mpid/internal/hadoop"
 	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mapred"
+	"github.com/ict-repro/mpid/internal/obs"
 )
 
 func main() {
@@ -47,13 +50,14 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the job to this file (hadoop engine)")
 	adminAddr := flag.String("admin", "", "serve /metrics, /trace.json, /timeline and pprof on this address for the job's duration (hadoop engine; use 127.0.0.1:0 for an ephemeral port)")
 	showMetrics := flag.Bool("metrics", false, "print the job's final metrics snapshot to stderr (hadoop engine)")
+	showEvents := flag.Bool("events", false, "print the job's flight-recorder events to stderr (hadoop engine)")
 	flag.Parse()
 
 	if *input == "" {
 		fatal(fmt.Errorf("-input is required"))
 	}
-	if *engine != "hadoop" && (*traceFile != "" || *adminAddr != "" || *showMetrics) {
-		fatal(fmt.Errorf("-trace, -admin and -metrics need -engine hadoop (the mpid engine has no jobtracker to observe)"))
+	if *engine != "hadoop" && (*traceFile != "" || *adminAddr != "" || *showMetrics || *showEvents) {
+		fatal(fmt.Errorf("-trace, -admin, -metrics and -events need -engine hadoop (the mpid engine has no jobtracker to observe)"))
 	}
 	text, err := os.ReadFile(*input)
 	if err != nil {
@@ -71,14 +75,22 @@ func main() {
 	case "mpid":
 		result, err = mapred.Run(job, splits, *mappers)
 	case "hadoop":
+		var rec *obs.Recorder
+		if *showEvents {
+			rec = obs.NewRecorder(0)
+		}
 		var rep *hadoop.JobReport
 		result, rep, err = hadoop.RunWithReport(job, splits, hadoop.Config{
 			NumTrackers: *mappers,
 			AdminAddr:   *adminAddr,
+			Events:      rec,
 		})
 		if err == nil {
 			if *showMetrics {
 				fmt.Fprint(os.Stderr, rep.Metrics.String())
+			}
+			if *showEvents {
+				fmt.Fprint(os.Stderr, obs.RenderEvents(rec.Events()))
 			}
 			if *traceFile != "" {
 				if werr := writeTrace(*traceFile, rep); werr != nil {

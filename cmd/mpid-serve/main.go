@@ -9,10 +9,12 @@
 //	mpid-serve -addr 127.0.0.1:9070 -admin 127.0.0.1:9071
 //
 // serves the JobServiceProtocol on -addr and, when -admin is set, the
-// observability endpoints (/metrics, /trace.json, /timeline, /jobs,
-// /debug/pprof/) on -admin. SIGTERM or SIGINT starts a graceful drain:
-// no new admissions, queued and running jobs finish, and anything still
-// unfinished after -drain is canceled.
+// observability endpoints (/metrics, /metrics.prom, /trace.json,
+// /timeline, /jobs, /events, /healthz, /series, /series.json,
+// /debug/pprof/) on -admin: -events sizes the flight-recorder ring and
+// -sample paces the time-series sampler behind /series.json. SIGTERM or
+// SIGINT starts a graceful drain: no new admissions, queued and running
+// jobs finish, and anything still unfinished after -drain is canceled.
 //
 // Client mode, against a running daemon:
 //
@@ -43,6 +45,7 @@ import (
 	"github.com/ict-repro/mpid/internal/admin"
 	"github.com/ict-repro/mpid/internal/hadoop"
 	"github.com/ict-repro/mpid/internal/hadooprpc"
+	"github.com/ict-repro/mpid/internal/obs"
 	"github.com/ict-repro/mpid/internal/serve"
 )
 
@@ -58,6 +61,8 @@ func main() {
 	probeDead := flag.Int("probe-dead", 0, "daemon: consecutive probe losses before a dead verdict (0 = prober default)")
 	noProbe := flag.Bool("no-probe", false, "daemon: disable active liveness probing")
 	drain := flag.Duration("drain", 30*time.Second, "daemon: graceful drain budget on SIGTERM")
+	eventCap := flag.Int("events", obs.DefaultEventCap, "daemon: flight-recorder ring capacity")
+	sample := flag.Duration("sample", time.Second, "daemon: metrics time-series sampling interval")
 
 	// Client flags.
 	connect := flag.String("connect", "", "client: daemon address to connect to (enables client mode)")
@@ -75,13 +80,15 @@ func main() {
 		return
 	}
 	if err := runDaemon(*addr, *adminAddr, *slots, *queue, *trackers, *heartbeat,
-		*probeEvery, *probeDead, *noProbe, *drain); err != nil {
+		*probeEvery, *probeDead, *noProbe, *drain, *eventCap, *sample); err != nil {
 		fail(err)
 	}
 }
 
 func runDaemon(addr, adminAddr string, slots, queue, trackers int, heartbeat,
-	probeEvery time.Duration, probeDead int, noProbe bool, drain time.Duration) error {
+	probeEvery time.Duration, probeDead int, noProbe bool, drain time.Duration,
+	eventCap int, sample time.Duration) error {
+	rec := obs.NewRecorder(eventCap)
 	svc := serve.New(serve.Config{
 		Slots:      slots,
 		QueueDepth: queue,
@@ -94,6 +101,7 @@ func runDaemon(addr, adminAddr string, slots, queue, trackers int, heartbeat,
 			NumTrackers: trackers,
 			Heartbeat:   heartbeat,
 		},
+		Events: rec,
 	})
 	srv := hadooprpc.NewServer()
 	srv.Register(serve.NewProtocol(svc, serve.NewWorkloads()))
@@ -106,15 +114,23 @@ func runDaemon(addr, adminAddr string, slots, queue, trackers int, heartbeat,
 		serve.ProtocolName, serve.ProtocolVersion, bound, slots, queue)
 
 	if adminAddr != "" {
-		adm, err := admin.New(adminAddr, svc.Metrics(), svc.Tracer(), admin.Page{
-			Path:    "/jobs",
-			Handler: jobsPage(svc),
-		})
+		cfg := serve.DefaultSeries()
+		cfg.Interval = sample
+		smp := obs.NewSampler(svc.Metrics(), cfg)
+		smp.Start()
+		defer smp.Stop()
+		extras := []admin.Page{
+			{Path: "/jobs", Handler: jobsPage(svc)},
+			admin.EventsPage(rec),
+			admin.HealthPage(svc.Health()),
+		}
+		extras = append(extras, admin.SeriesPages(smp)...)
+		adm, err := admin.New(adminAddr, svc.Metrics(), svc.Tracer(), extras...)
 		if err != nil {
 			return err
 		}
 		defer adm.Close()
-		fmt.Printf("mpid-serve: admin on http://%s (/metrics /trace.json /timeline /jobs /debug/pprof/)\n", adm.Addr())
+		fmt.Printf("mpid-serve: admin on http://%s (/metrics /metrics.prom /trace.json /timeline /jobs /events /healthz /series /series.json /debug/pprof/)\n", adm.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

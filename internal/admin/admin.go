@@ -7,24 +7,31 @@
 package admin
 
 import (
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
+	"time"
 
 	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/obs"
 	"github.com/ict-repro/mpid/internal/trace"
 )
 
 // Server serves the admin endpoints over one listener:
 //
 //	/metrics        text snapshot of the metrics registry
+//	/metrics.prom   the same snapshot in OpenMetrics text exposition
 //	/trace.json     Chrome trace-event JSON of the spans collected so far
 //	/timeline       fixed-width ASCII Gantt of the same spans
 //	/debug/pprof/   the standard net/http/pprof handlers
 //
-// Reads are live: each request snapshots the registry/tracer at that
-// moment, so polling /metrics during a job watches counters move.
+// plus whatever extra pages the caller mounts (EventsPage, HealthPage,
+// SeriesPages). Reads are live: each request snapshots the
+// registry/tracer at that moment, so polling /metrics during a job
+// watches counters move.
 type Server struct {
 	met *metrics.Registry
 	tr  *trace.Tracer
@@ -54,6 +61,7 @@ func New(addr string, met *metrics.Registry, tr *trace.Tracer, extras ...Page) (
 	s := &Server{met: met, tr: tr}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.prom", s.handleMetricsProm)
 	mux.HandleFunc("/trace.json", s.handleTrace)
 	mux.HandleFunc("/timeline", s.handleTimeline)
 	for _, p := range extras {
@@ -71,7 +79,9 @@ func New(addr string, met *metrics.Registry, tr *trace.Tracer, extras ...Page) (
 		return nil, err
 	}
 	s.ln = ln
-	s.srv = &http.Server{Handler: mux}
+	// ReadHeaderTimeout keeps a stalled client from pinning a serve
+	// goroutine forever — this server lives as long as the daemon does.
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -115,4 +125,61 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write([]byte(trace.RenderTimeline(s.tr.Spans(), 80)))
+}
+
+// PromContentType is the Content-Type /metrics.prom responds with.
+const PromContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", PromContentType)
+	obs.WriteProm(w, "mpid", s.met.Snapshot())
+}
+
+// EventsPage serves the flight recorder as a /events text table (newest
+// retained events, oldest first), with a drop count when the ring has
+// wrapped. A nil recorder serves an empty table.
+func EventsPage(rec *obs.Recorder) Page {
+	return Page{Path: "/events", Handler: func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if d := rec.Dropped(); d > 0 {
+			fmt.Fprintf(w, "(%d older events dropped by the ring)\n", d)
+		}
+		w.Write([]byte(obs.RenderEvents(rec.Events())))
+	}}
+}
+
+// HealthPage serves /healthz from an obs.Health: 200 with "ok" plus one
+// line per check when every check passes, 503 otherwise. A nil Health is
+// always healthy — a daemon with no checks registered has nothing to fail.
+func HealthPage(h *obs.Health) Page {
+	return Page{Path: "/healthz", Handler: func(w http.ResponseWriter, r *http.Request) {
+		ok, results := h.Evaluate()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		w.Write([]byte(obs.RenderHealth(ok, results)))
+	}}
+}
+
+// SeriesPages serves a sampler's history: /series.json (the machine view)
+// and /series (ASCII sparklines; ?width=N sets the window). A nil sampler
+// serves empty history.
+func SeriesPages(smp *obs.Sampler) []Page {
+	return []Page{
+		{Path: "/series.json", Handler: func(w http.ResponseWriter, r *http.Request) {
+			data, err := smp.MarshalJSON()
+			if err != nil {
+				http.Error(w, "admin: series export: "+err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data)
+		}},
+		{Path: "/series", Handler: func(w http.ResponseWriter, r *http.Request) {
+			width, _ := strconv.Atoi(r.URL.Query().Get("width"))
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte(obs.RenderSeries(smp.Snapshot(), width)))
+		}},
+	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"github.com/ict-repro/mpid/internal/hadoop"
 	"github.com/ict-repro/mpid/internal/hadooprpc"
+	"github.com/ict-repro/mpid/internal/metrics"
 	"github.com/ict-repro/mpid/internal/serve"
 )
 
@@ -82,18 +83,18 @@ type ServeTenantRow struct {
 
 // ServeBenchResult is the schema of BENCH_serve.json.
 type ServeBenchResult struct {
-	Config       ServeBenchConfig `json:"config"`
-	Jobs         int              `json:"jobs"`
-	WallMs       float64          `json:"wall_ms"`
-	Throughput   float64          `json:"throughput_jobs_per_s"`
-	P50Ms        float64          `json:"p50_ms"`
-	P99Ms        float64          `json:"p99_ms"`
-	MeanMs       float64          `json:"mean_ms"`
-	Rejected     int              `json:"rejected"`      // saturated submissions (later retried)
-	Retries      int              `json:"retries"`       // resubmissions after backoff
-	FairnessRatio float64         `json:"fairness_ratio"` // max/min cross-tenant mean latency; 1.0 is perfectly fair
-	Tenants      []ServeTenantRow `json:"tenants"`
-	Timestamp    string           `json:"timestamp,omitempty"`
+	Config        ServeBenchConfig `json:"config"`
+	Jobs          int              `json:"jobs"`
+	WallMs        float64          `json:"wall_ms"`
+	Throughput    float64          `json:"throughput_jobs_per_s"`
+	P50Ms         float64          `json:"p50_ms"`
+	P99Ms         float64          `json:"p99_ms"`
+	MeanMs        float64          `json:"mean_ms"`
+	Rejected      int              `json:"rejected"`       // saturated submissions (later retried)
+	Retries       int              `json:"retries"`        // resubmissions after backoff
+	FairnessRatio float64          `json:"fairness_ratio"` // max/min cross-tenant mean latency; 1.0 is perfectly fair
+	Tenants       []ServeTenantRow `json:"tenants"`
+	Timestamp     string           `json:"timestamp,omitempty"`
 }
 
 // serveBenchJob is one client's observation of one job.
@@ -175,18 +176,26 @@ func RunServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	if wall > 0 {
 		res.Throughput = float64(total) / wall.Seconds()
 	}
-	all := make([]float64, 0, total)
-	perTenant := make(map[string][]float64)
+	// metrics.Timer holds exactly the percentile machinery this summary
+	// needs (interpolated p50/p99 over the observations, exact at this
+	// scale), so observe latencies in milliseconds instead of hand-sorting.
+	var allT metrics.Timer
+	perTenant := make(map[string]*metrics.Timer)
 	for _, r := range results {
 		ms := float64(r.latency.Microseconds()) / 1000
-		all = append(all, ms)
-		perTenant[r.tenant] = append(perTenant[r.tenant], ms)
+		allT.Observe(ms)
+		t := perTenant[r.tenant]
+		if t == nil {
+			t = &metrics.Timer{}
+			perTenant[r.tenant] = t
+		}
+		t.Observe(ms)
 		res.Retries += r.retries
 	}
-	sort.Float64s(all)
-	res.P50Ms = pct(all, 50)
-	res.P99Ms = pct(all, 99)
-	res.MeanMs = mean(all)
+	allStats := allT.Stats()
+	res.P50Ms = allStats.P50
+	res.P99Ms = allStats.P99
+	res.MeanMs = allStats.Mean
 
 	names := make([]string, 0, len(perTenant))
 	for name := range perTenant {
@@ -195,16 +204,14 @@ func RunServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	sort.Strings(names)
 	minMean, maxMean := 0.0, 0.0
 	for _, name := range names {
-		lats := perTenant[name]
-		sort.Float64s(lats)
-		m := mean(lats)
-		if minMean == 0 || m < minMean {
-			minMean = m
+		st := perTenant[name].Stats()
+		if minMean == 0 || st.Mean < minMean {
+			minMean = st.Mean
 		}
-		if m > maxMean {
-			maxMean = m
+		if st.Mean > maxMean {
+			maxMean = st.Mean
 		}
-		row := ServeTenantRow{Tenant: name, Jobs: len(lats), MeanMs: m, P99Ms: pct(lats, 99)}
+		row := ServeTenantRow{Tenant: name, Jobs: int(st.Count), MeanMs: st.Mean, P99Ms: st.P99}
 		for _, r := range results {
 			if r.tenant == name {
 				row.Retries += r.retries
@@ -254,31 +261,6 @@ func submitOne(addr string, opts hadooprpc.Options, tenant string, params map[st
 	out.latency = time.Since(start)
 	out.digest = r.Digest
 	return out, nil
-}
-
-func pct(sorted []float64, p float64) float64 {
-	n := len(sorted)
-	if n == 0 {
-		return 0
-	}
-	rank := p / 100 * float64(n-1)
-	lo := int(rank)
-	if lo+1 >= n {
-		return sorted[n-1]
-	}
-	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
-}
-
-func mean(v []float64) float64 {
-	if len(v) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, x := range v {
-		sum += x
-	}
-	return sum / float64(len(v))
 }
 
 // MarshalServeBench renders the result as the BENCH_serve.json body.

@@ -10,7 +10,7 @@ import (
 	"github.com/ict-repro/mpid/internal/hadoop"
 	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mapred"
-	"github.com/ict-repro/mpid/internal/stats"
+	"github.com/ict-repro/mpid/internal/metrics"
 	"github.com/ict-repro/mpid/internal/workload"
 )
 
@@ -71,7 +71,7 @@ type WorkloadBenchRow struct {
 	OutputPairs int `json:"output_pairs"`
 	// ShuffleBytes is the map-to-reduce traffic of the fast core's gate run
 	// (summed over rounds for chained PageRank).
-	ShuffleBytes int64 `json:"shuffle_bytes"`
+	ShuffleBytes int64   `json:"shuffle_bytes"`
 	FastP50Ms    float64 `json:"fast_p50_ms"`
 	LegacyP50Ms  float64 `json:"legacy_p50_ms"`
 	HadoopP50Ms  float64 `json:"hadoop_p50_ms"`
@@ -228,15 +228,15 @@ func RunWorkloadBench(cfg WorkloadBenchConfig) (*WorkloadBenchResult, error) {
 		}
 
 		p50 := func(run engineRunner) (float64, error) {
-			var s stats.Summary
+			var t metrics.Timer
 			for i := 0; i < cfg.Reps; i++ {
 				start := time.Now()
 				if _, _, err := run(); err != nil {
 					return 0, err
 				}
-				s.Add(float64(time.Since(start).Microseconds()) / 1000)
+				t.Observe(float64(time.Since(start).Microseconds()) / 1000)
 			}
-			return s.Median(), nil
+			return t.Stats().P50, nil
 		}
 		row := WorkloadBenchRow{Name: c.name, OutputPairs: len(want), ShuffleBytes: shuffleBytes}
 		if row.FastP50Ms, err = p50(fast); err != nil {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/obs"
 	"github.com/ict-repro/mpid/internal/trace"
 )
 
@@ -97,6 +98,7 @@ type Injector struct {
 	partitioned map[[2]string]bool
 	metrics     *metrics.Registry
 	tracer      *trace.Tracer
+	events      *obs.Recorder
 }
 
 // New creates an injector whose probabilistic draws are driven by seed.
@@ -134,6 +136,19 @@ func (in *Injector) SetTracer(tr *trace.Tracer) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.tracer = tr
+}
+
+// SetEvents wires a flight recorder into the injector: every fired fault
+// emits an obs.EvFault event carrying the component, operation and peer it
+// hit, cross-linked to the KindFault instant span's id. A nil recorder (or
+// nil injector) records nothing.
+func (in *Injector) SetEvents(ev *obs.Recorder) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.events = ev
 }
 
 // Add appends a rule.
@@ -252,15 +267,20 @@ func (in *Injector) Check(component, operation, peer string) error {
 		in.crashed[component] = true
 	}
 	errOverride, delay := fired.Err, fired.Delay
-	m, tr := in.metrics, in.tracer
+	m, tr, ev := in.metrics, in.tracer, in.events
 	in.mu.Unlock()
 
 	m.Counter("faults.injected").Inc()
 	m.Counter("faults.injected." + actionName(action)).Inc()
-	tr.Instant(trace.Context{}, "fault."+actionName(action), trace.KindFault,
+	ictx := tr.Instant(trace.Context{}, "fault."+actionName(action), trace.KindFault,
 		trace.Annotation{Key: "component", Value: component},
 		trace.Annotation{Key: "operation", Value: operation},
 		trace.Annotation{Key: "peer", Value: peer})
+	detail := fmt.Sprintf("%s: %s/%s", actionName(action), component, operation)
+	if peer != "" {
+		detail += " peer=" + peer
+	}
+	ev.Emit(obs.Event{Type: obs.EvFault, Span: ictx.Span, Trace: ictx.Trace, Detail: detail})
 
 	switch action {
 	case Delay:

@@ -38,6 +38,7 @@ import (
 	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mapred"
 	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/obs"
 	"github.com/ict-repro/mpid/internal/trace"
 )
 
@@ -123,6 +124,13 @@ type Config struct {
 	// stays valid until RunWithReport returns; calls after that are safe
 	// no-ops.
 	Watch func(ClusterControl)
+	// Events, when set, is the job's flight recorder: the jobtracker emits
+	// attempt lifecycle events (scheduled/failed/lost/superseded) and fetch
+	// redirects, tasktrackers emit spill and fetch-failure events, and the
+	// RPC, jetty and fault layers fold their retry/deadline/fault events
+	// into the same ring. Each event carries the trace span id of the work
+	// it describes. A nil recorder records nothing.
+	Events *obs.Recorder
 }
 
 // TrackerState is an external view of one tasktracker's liveness: its
@@ -203,6 +211,9 @@ func (c Config) rpcOptions() hadooprpc.Options {
 	if o.Metrics == nil {
 		o.Metrics = c.Metrics
 	}
+	if o.Events == nil {
+		o.Events = c.Events
+	}
 	return o
 }
 
@@ -262,6 +273,7 @@ func RunWithReportContext(ctx context.Context, job mapred.Job, splits []mapred.S
 	// Injected faults count toward the same per-job registry, so a chaos
 	// run's report shows re-executions next to the faults that caused them.
 	cfg.Injector.SetMetrics(cfg.Metrics)
+	cfg.Injector.SetEvents(cfg.Events)
 
 	jt := newJobTracker(job, splits, cfg)
 	// Fault firings get their own trace lane; closeTrace merges it.
@@ -287,7 +299,7 @@ func RunWithReportContext(ctx context.Context, job mapred.Job, splits []mapred.S
 	}
 
 	if cfg.AdminAddr != "" {
-		adm, err := admin.New(cfg.AdminAddr, cfg.Metrics, jt.tr)
+		adm, err := admin.New(cfg.AdminAddr, cfg.Metrics, jt.tr, admin.EventsPage(cfg.Events))
 		if err != nil {
 			return nil, nil, fmt.Errorf("hadoop: admin server: %w", err)
 		}
@@ -363,6 +375,7 @@ type jobTracker struct {
 	cfg    Config
 	met    *metrics.Registry
 	tr     *trace.Tracer
+	ev     *obs.Recorder
 	// faultTr is a dedicated lane for injected-fault instants; the shared
 	// injector fires from every process, so attributing its spans to one
 	// tracker would lie. closeTrace merges it into tr.
@@ -403,6 +416,7 @@ func newJobTracker(job mapred.Job, splits []mapred.Split, cfg Config) *jobTracke
 		cfg:            cfg,
 		met:            cfg.Metrics,
 		tr:             cfg.Tracer,
+		ev:             cfg.Events,
 		faultTr:        trace.New("faults"),
 		attemptSpans:   make(map[string]*trace.Span),
 		seenSpans:      make(map[uint64]bool),
@@ -601,11 +615,18 @@ func (jt *jobTracker) startAttemptLocked(kind string, task, trackerID int) *trac
 	if old := jt.attemptSpans[key]; old != nil {
 		old.Annotate("status", "superseded")
 		old.End()
+		octx := old.Context()
+		jt.ev.Emit(obs.Event{Type: obs.EvAttemptSuperseded, Task: key,
+			Span: octx.Span, Trace: octx.Trace})
 	}
 	s := jt.tr.StartChild(jt.jobSpan.Context(), key, trace.KindAttempt)
 	s.Annotate("attempt", fmt.Sprint(jt.executions[key]))
 	s.Annotate("tracker", fmt.Sprint(trackerID))
 	jt.attemptSpans[key] = s
+	sctx := s.Context()
+	jt.ev.Emit(obs.Event{Type: obs.EvAttemptScheduled, Task: key,
+		Attempt: jt.executions[key], Span: sctx.Span, Trace: sctx.Trace,
+		Detail: fmt.Sprintf("tracker %d", trackerID)})
 	return s
 }
 
@@ -617,6 +638,20 @@ func (jt *jobTracker) endAttemptLocked(kind string, task int, status string) {
 		s.Annotate("status", status)
 		s.End()
 		delete(jt.attemptSpans, key)
+		// Healthy completions are the common case and already visible in the
+		// trace; the flight recorder keeps the anomalies.
+		var typ string
+		switch status {
+		case "failed":
+			typ = obs.EvAttemptFailed
+		case "lost":
+			typ = obs.EvAttemptLost
+		}
+		if typ != "" {
+			sctx := s.Context()
+			jt.ev.Emit(obs.Event{Type: typ, Task: key,
+				Attempt: jt.executions[key], Span: sctx.Span, Trace: sctx.Trace})
+		}
 	}
 }
 
@@ -1011,6 +1046,8 @@ func (jt *jobTracker) handleFetchFailed(params [][]byte) ([]byte, error) {
 	if _, running := jt.runningMaps[task]; !running {
 		jt.pendingMaps = append(jt.pendingMaps, task)
 	}
+	jt.ev.Emit(obs.Event{Type: obs.EvFetchRedirect, Task: key,
+		Detail: fmt.Sprintf("map output on tracker %d unfetchable; re-queued", trackerID)})
 	return nil, nil
 }
 

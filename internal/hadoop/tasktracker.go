@@ -14,6 +14,7 @@ import (
 	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mapred"
 	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/obs"
 	"github.com/ict-repro/mpid/internal/shuffle"
 	"github.com/ict-repro/mpid/internal/trace"
 )
@@ -42,6 +43,7 @@ type taskTracker struct {
 	inj    *faults.Injector
 	met    *metrics.Registry
 	tr     *trace.Tracer
+	ev     *obs.Recorder
 	jobCtx trace.Context // the job root span, from the register response
 
 	rpc       *hadooprpc.MuxClient
@@ -75,6 +77,7 @@ func newTaskTracker(ctx context.Context, idx int, jtAddr string, job mapred.Job,
 		inj:       cfg.Injector,
 		met:       cfg.Metrics,
 		tr:        trace.New(fmt.Sprintf("tracker%d", idx)),
+		ev:        cfg.Events,
 		store:     jetty.NewStore(),
 		fetch:     jetty.NewClient(),
 		pool:      shuffle.NewBufferPool(),
@@ -89,6 +92,7 @@ func newTaskTracker(ctx context.Context, idx int, jtAddr string, job mapred.Job,
 	tt.fetch.Backoff = cfg.RPC.Backoff
 	tt.fetch.Injector = cfg.Injector
 	tt.fetch.Metrics = cfg.Metrics
+	tt.fetch.Events = cfg.Events
 	tt.fetch.Compress = cfg.CompressShuffle
 	if !cfg.LegacyShuffle {
 		tt.fetch.Pool = tt.pool
@@ -416,6 +420,7 @@ func (tt *taskTracker) runMapTask(task, attempt int, pctx trace.Context) (mapPha
 	spillSpan := span.Child("map.spill", trace.KindPhase)
 	defer spillSpan.End()
 	spillStart := time.Now()
+	var spilled int
 	for p := 0; p < nParts; p++ {
 		sort.Strings(order[p])
 		var buf []byte
@@ -426,11 +431,16 @@ func (tt *taskTracker) runMapTask(task, attempt int, pctx trace.Context) (mapPha
 			}
 			buf = kv.AppendKeyList(buf, kv.KeyList{Key: []byte(k), Values: values})
 		}
+		spilled += len(buf)
 		tt.store.Put(jetty.OutputKey{Job: jobName, Map: task, Reduce: p}, buf)
 	}
 	ph.spill = time.Since(spillStart)
 	spillSpan.End()
 	tt.met.Timer("task.map.spill").ObserveDuration(ph.spill)
+	sctx := spillSpan.Context()
+	tt.ev.Emit(obs.Event{Type: obs.EvSpill, Task: fmt.Sprintf("m%d", task),
+		Attempt: attempt, Span: sctx.Span, Trace: sctx.Trace,
+		Detail: fmt.Sprintf("tracker %d: %d partitions, %d bytes", tt.idx, nParts, spilled)})
 	return ph, nil
 }
 
@@ -677,6 +687,7 @@ func (tt *taskTracker) fetchRun(j mapOutputLoc, reduce int, pctx trace.Context) 
 		jetty.OutputKey{Job: jobName, Map: j.mapID, Reduce: reduce})
 	if err != nil {
 		fs.Annotate("error", err.Error())
+		tt.emitFetchFail(fs, j, reduce, err)
 		return nil, err
 	}
 	fs.Annotate("bytes", fmt.Sprint(len(data)))
@@ -820,6 +831,7 @@ func (tt *taskTracker) fetchAndParse(j mapOutputLoc, reduce int, pctx trace.Cont
 		jetty.OutputKey{Job: jobName, Map: j.mapID, Reduce: reduce})
 	if err != nil {
 		fs.Annotate("error", err.Error())
+		tt.emitFetchFail(fs, j, reduce, err)
 		return nil, err
 	}
 	fs.Annotate("bytes", fmt.Sprint(len(data)))
@@ -834,6 +846,15 @@ func (tt *taskTracker) fetchAndParse(j mapOutputLoc, reduce int, pctx trace.Cont
 		data = data[n:]
 	}
 	return lists, nil
+}
+
+// emitFetchFail records a reducer's definitive fetch failure, cross-linked
+// to the fetch span that carried the attempts.
+func (tt *taskTracker) emitFetchFail(fs *trace.Span, j mapOutputLoc, reduce int, err error) {
+	fctx := fs.Context()
+	tt.ev.Emit(obs.Event{Type: obs.EvFetchFail, Task: fmt.Sprintf("r%d", reduce),
+		Span: fctx.Span, Trace: fctx.Trace,
+		Detail: fmt.Sprintf("map %d on tracker %d: %v", j.mapID, j.trackerID, err)})
 }
 
 func (tt *taskTracker) isAborting() bool {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/ict-repro/mpid/internal/faults"
+	"github.com/ict-repro/mpid/internal/obs"
 )
 
 // Client is an RPC proxy for one protocol on one server, the analogue of
@@ -168,12 +169,16 @@ func (c *Client) CallTraced(tctx []byte, method string, params ...[]byte) ([]byt
 		delay := c.opts.Backoff.Delay(attempt, c.jit)
 		if !deadline.IsZero() && !time.Now().Add(delay).Before(deadline) {
 			m.Counter("rpc.errors").Inc()
-			return nil, &DeadlineError{
+			de := &DeadlineError{
 				Method: method, Attempts: attempt,
 				Elapsed: time.Since(start), Cause: lastErr,
 			}
+			c.opts.Events.Emit(obs.Event{Type: obs.EvRPCDeadline, Detail: de.Error()})
+			return nil, de
 		}
 		m.Counter("rpc.retries").Inc()
+		c.opts.Events.Emit(obs.Event{Type: obs.EvRPCRetry,
+			Detail: fmt.Sprintf("%s attempt %d: %v", method, attempt, lastErr)})
 		// Sleeping under the lock is deliberate: one call in flight at a
 		// time is this client's contract.
 		time.Sleep(delay)

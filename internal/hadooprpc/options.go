@@ -7,6 +7,7 @@ import (
 
 	"github.com/ict-repro/mpid/internal/faults"
 	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/obs"
 )
 
 // Options configures a client's fault-tolerance behaviour: connect and
@@ -49,6 +50,11 @@ type Options struct {
 	// and "rpc.bytes_sent"/"rpc.bytes_recv" for framed wire bytes. A nil
 	// registry records nothing.
 	Metrics *metrics.Registry
+	// Events, when set, receives flight-recorder events for the
+	// fault-tolerance edges: obs.EvRPCRetry on every retried attempt and
+	// obs.EvRPCDeadline when a Call's total budget expires. A nil recorder
+	// records nothing.
+	Events *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {

@@ -24,6 +24,7 @@ import (
 
 	"github.com/ict-repro/mpid/internal/faults"
 	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/obs"
 	"github.com/ict-repro/mpid/internal/shuffle"
 	"github.com/ict-repro/mpid/internal/trace"
 )
@@ -355,6 +356,10 @@ type Client struct {
 	// repeated attempts against the same server and
 	// "shuffle.fetch_errors" for fetches that failed for good.
 	Metrics *metrics.Registry
+	// Events, when set, receives an obs.EvFetchRetry flight-recorder event
+	// for every repeated attempt against the same server. A nil recorder
+	// records nothing.
+	Events *obs.Recorder
 	// Compress advertises HeaderAcceptCompressed on map-output fetches;
 	// against a compressing server the body arrives DEFLATEd and is
 	// inflated here. The returned bytes are always the raw segment.
@@ -435,6 +440,9 @@ func (c *Client) FetchMapOutputContext(ctx context.Context, tctx trace.Context, 
 			return nil, err
 		}
 		c.Metrics.Counter("shuffle.fetch_retries").Inc()
+		c.Events.Emit(obs.Event{Type: obs.EvFetchRetry,
+			Task:   fmt.Sprintf("r%d", key.Reduce),
+			Detail: fmt.Sprintf("%s map %d attempt %d: %v", addr, key.Map, attempt, err)})
 		delay := time.NewTimer(c.Backoff.Delay(attempt, c.jit))
 		select {
 		case <-ctx.Done():

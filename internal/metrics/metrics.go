@@ -158,11 +158,13 @@ func (t *Timer) Time(fn func()) {
 	t.ObserveDuration(time.Since(start))
 }
 
-// TimerStats is an exported summary of one timer.
+// TimerStats is an exported summary of one timer. Percentiles are exact
+// while the timer has seen fewer than timerSampleCap observations and come
+// from the decimated sample afterwards.
 type TimerStats struct {
 	Count               int64
 	Sum, Min, Max, Mean float64
-	P50, P95            float64
+	P50, P95, P99       float64
 }
 
 // Stats summarizes the timer. Percentiles come from the decimated sample.
@@ -181,6 +183,7 @@ func (t *Timer) Stats() TimerStats {
 		sort.Float64s(sorted)
 		s.P50 = percentile(sorted, 50)
 		s.P95 = percentile(sorted, 95)
+		s.P99 = percentile(sorted, 99)
 	}
 	return s
 }
@@ -347,7 +350,7 @@ func (s Snapshot) String() string {
 		out += tb.String()
 	}
 	if len(s.Timers) > 0 {
-		tb := stats.NewTable("timer", "count", "mean", "p50", "p95", "max", "total")
+		tb := stats.NewTable("timer", "count", "mean", "p50", "p95", "p99", "max", "total")
 		names := make([]string, 0, len(s.Timers))
 		for name := range s.Timers {
 			names = append(names, name)
@@ -359,6 +362,7 @@ func (s Snapshot) String() string {
 				stats.FormatDuration(secs(t.Mean)),
 				stats.FormatDuration(secs(t.P50)),
 				stats.FormatDuration(secs(t.P95)),
+				stats.FormatDuration(secs(t.P99)),
 				stats.FormatDuration(secs(t.Max)),
 				stats.FormatDuration(secs(t.Sum)))
 		}

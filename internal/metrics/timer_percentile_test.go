@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestTimerP99ExactSmallCount: below timerSampleCap every observation is
+// retained, so P99 is the interpolated exact percentile.
+func TestTimerP99ExactSmallCount(t *testing.T) {
+	var tm Timer
+	// 1..100 in shuffled order; percentiles must not depend on arrival order.
+	r := rand.New(rand.NewSource(1))
+	for _, v := range r.Perm(100) {
+		tm.Observe(float64(v + 1))
+	}
+	st := tm.Stats()
+	// Interpolated exact values over 1..100: p50 = 50.5, p99 = 99.01.
+	if math.Abs(st.P50-50.5) > 1e-9 {
+		t.Fatalf("P50 = %v, want 50.5", st.P50)
+	}
+	if math.Abs(st.P99-99.01) > 1e-9 {
+		t.Fatalf("P99 = %v, want 99.01", st.P99)
+	}
+	if math.Abs(st.P95-95.05) > 1e-9 {
+		t.Fatalf("P95 = %v, want 95.05", st.P95)
+	}
+}
+
+// TestTimerPercentilesAfterDecimation pushes the timer well past
+// timerSampleCap so the stride has doubled several times, then checks the
+// decimated-sample percentiles stay within a small relative error of the
+// true distribution percentiles. Uniform 0..1 observations make the true
+// percentile p/100.
+func TestTimerPercentilesAfterDecimation(t *testing.T) {
+	var tm Timer
+	const n = 20000 // ~5x timerSampleCap: stride doubles at least twice
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		tm.Observe(r.Float64())
+	}
+	st := tm.Stats()
+	if st.Count != n {
+		t.Fatalf("Count = %d, want %d", st.Count, n)
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"P50", st.P50, 0.50},
+		{"P95", st.P95, 0.95},
+		{"P99", st.P99, 0.99},
+	} {
+		// The decimated sample still holds >2000 near-uniformly-strided
+		// points, so 5% relative error is generous headroom over sampling
+		// noise while tight enough to catch a broken decimation.
+		if rel := math.Abs(c.got-c.want) / c.want; rel > 0.05 {
+			t.Errorf("%s = %v, want %v within 5%% (off by %.1f%%)", c.name, c.got, c.want, rel*100)
+		}
+	}
+	if st.Min < 0 || st.Max > 1 || st.Mean < 0.45 || st.Mean > 0.55 {
+		t.Fatalf("min/max/mean drifted: %+v", st)
+	}
+}
+
+// TestTimerConcurrentObserve hammers one child+parent timer pair from many
+// goroutines; under -race this is the data-race gate for the sampling path
+// (decimation mutates the sample slice in place), and the count/sum totals
+// must come out exact on both levels.
+func TestTimerConcurrentObserve(t *testing.T) {
+	parent := NewRegistry()
+	child := parent.NewChild()
+	tm := child.Timer("lat")
+	const workers = 8
+	const each = 5000 // workers*each > timerSampleCap: decimation runs concurrently
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < each; i++ {
+				tm.Observe(r.Float64())
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	for name, reg := range map[string]*Registry{"child": child, "parent": parent} {
+		st := reg.Timer("lat").Stats()
+		if st.Count != workers*each {
+			t.Fatalf("%s Count = %d, want %d", name, st.Count, workers*each)
+		}
+		if st.Min < 0 || st.Max > 1 {
+			t.Fatalf("%s min/max out of range: %+v", name, st)
+		}
+		if st.P50 < 0.3 || st.P50 > 0.7 {
+			t.Fatalf("%s P50 = %v, want ~0.5", name, st.P50)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Status is one health check's answer.
+type Status struct {
+	OK bool
+	// Detail is a short human line ("0 dead trackers", "backlog 9/8").
+	Detail string
+}
+
+// Healthy and Unhealthy build a Status with a formatted detail line.
+func Healthy(format string, args ...any) Status {
+	return Status{OK: true, Detail: fmt.Sprintf(format, args...)}
+}
+
+func Unhealthy(format string, args ...any) Status {
+	return Status{OK: false, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Check evaluates one aspect of service health at call time.
+type Check func() Status
+
+// CheckResult is one named check's evaluated status.
+type CheckResult struct {
+	Name string
+	Status
+}
+
+// Health is an ordered set of named checks behind /healthz. A nil *Health
+// evaluates to healthy with no checks.
+type Health struct {
+	mu     sync.Mutex
+	names  []string
+	checks map[string]Check
+}
+
+// NewHealth creates an empty health evaluator.
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]Check)}
+}
+
+// Register adds (or replaces) a named check; registration order is
+// evaluation and rendering order.
+func (h *Health) Register(name string, c Check) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.checks[name]; !ok {
+		h.names = append(h.names, name)
+	}
+	h.checks[name] = c
+}
+
+// Evaluate runs every check. The service is healthy iff all checks pass.
+func (h *Health) Evaluate() (bool, []CheckResult) {
+	if h == nil {
+		return true, nil
+	}
+	h.mu.Lock()
+	names := append([]string(nil), h.names...)
+	checks := make([]Check, len(names))
+	for i, n := range names {
+		checks[i] = h.checks[n]
+	}
+	h.mu.Unlock()
+	ok := true
+	results := make([]CheckResult, len(names))
+	for i, c := range checks {
+		st := c()
+		results[i] = CheckResult{Name: names[i], Status: st}
+		ok = ok && st.OK
+	}
+	return ok, results
+}
+
+// RenderHealth renders the /healthz body: a verdict line then one line per
+// check.
+func RenderHealth(ok bool, results []CheckResult) string {
+	var b strings.Builder
+	if ok {
+		b.WriteString("ok\n")
+	} else {
+		b.WriteString("unhealthy\n")
+	}
+	for _, r := range results {
+		mark := "ok"
+		if !r.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  %-12s %-4s %s\n", r.Name, mark, r.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/ict-repro/mpid/internal/metrics"
+)
+
+// WriteProm writes a metrics snapshot in the OpenMetrics / Prometheus text
+// exposition format: counters as "<name>_total", gauges as plain samples,
+// and timers as summaries with p50/p95/p99 quantiles plus _sum and _count,
+// terminated by the "# EOF" marker. Metric names are prefixed and sanitized
+// ("rpc.calls" under prefix "mpid" becomes "mpid_rpc_calls"), and families
+// are emitted in sorted name order so output is deterministic.
+func WriteProm(w io.Writer, prefix string, snap metrics.Snapshot) error {
+	var b strings.Builder
+	for _, name := range sortedNames(len(snap.Counters), func(f func(string)) {
+		for n := range snap.Counters {
+			f(n)
+		}
+	}) {
+		fam := PromName(prefix, name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", fam)
+		fmt.Fprintf(&b, "%s_total %d\n", fam, snap.Counters[name])
+	}
+	for _, name := range sortedNames(len(snap.Gauges), func(f func(string)) {
+		for n := range snap.Gauges {
+			f(n)
+		}
+	}) {
+		fam := PromName(prefix, name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", fam)
+		fmt.Fprintf(&b, "%s %d\n", fam, snap.Gauges[name])
+	}
+	for _, name := range sortedNames(len(snap.Timers), func(f func(string)) {
+		for n := range snap.Timers {
+			f(n)
+		}
+	}) {
+		fam := PromName(prefix, name)
+		t := snap.Timers[name]
+		fmt.Fprintf(&b, "# TYPE %s summary\n", fam)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", fam, promFloat(t.P50))
+		fmt.Fprintf(&b, "%s{quantile=\"0.95\"} %s\n", fam, promFloat(t.P95))
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %s\n", fam, promFloat(t.P99))
+		fmt.Fprintf(&b, "%s_sum %s\n", fam, promFloat(t.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", fam, t.Count)
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedNames(n int, each func(func(string))) []string {
+	names := make([]string, 0, n)
+	each(func(s string) { names = append(names, s) })
+	sort.Strings(names)
+	return names
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// PromName sanitizes a registry metric name into a legal exposition metric
+// name under the given prefix: every character outside [a-zA-Z0-9_:] maps
+// to '_'.
+func PromName(prefix, name string) string {
+	var b strings.Builder
+	if prefix != "" {
+		b.WriteString(prefix)
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// LintProm validates a text exposition body against the format rules
+// WriteProm promises: a terminal "# EOF" line, well-formed sample lines
+// whose values parse as numbers, a TYPE declaration (counter, gauge or
+// summary) preceding every sample of its family, counter samples carrying
+// the _total suffix, and summary samples restricted to quantile-labeled
+// values, _sum and _count. It returns the first violation found.
+func LintProm(data []byte) error {
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[len(lines)-1] != "# EOF" {
+		return fmt.Errorf("obs: exposition does not end with \"# EOF\"")
+	}
+	types := make(map[string]string)
+	for i, line := range lines[:len(lines)-1] {
+		lineNo := i + 1
+		if line == "" {
+			return fmt.Errorf("obs: line %d: empty line", lineNo)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("obs: line %d: malformed TYPE line %q", lineNo, line)
+				}
+				fam, kind := fields[2], fields[3]
+				if !validPromName(fam) {
+					return fmt.Errorf("obs: line %d: bad metric name %q", lineNo, fam)
+				}
+				if kind != "counter" && kind != "gauge" && kind != "summary" {
+					return fmt.Errorf("obs: line %d: unsupported type %q", lineNo, kind)
+				}
+				if _, dup := types[fam]; dup {
+					return fmt.Errorf("obs: line %d: duplicate TYPE for %q", lineNo, fam)
+				}
+				types[fam] = kind
+			}
+			continue // other comment lines (HELP, UNIT) pass through
+		}
+		name, value, ok := splitPromSample(line)
+		if !ok {
+			return fmt.Errorf("obs: line %d: malformed sample %q", lineNo, line)
+		}
+		base, labels := name, ""
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			base, labels = name[:j], name[j:]
+		}
+		if !validPromName(base) {
+			return fmt.Errorf("obs: line %d: bad sample name %q", lineNo, base)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("obs: line %d: bad sample value %q", lineNo, value)
+		}
+		fam, suffix := promFamily(base, types)
+		kind, declared := types[fam]
+		if !declared {
+			return fmt.Errorf("obs: line %d: sample %q has no TYPE declaration", lineNo, base)
+		}
+		switch kind {
+		case "counter":
+			if suffix != "_total" {
+				return fmt.Errorf("obs: line %d: counter sample %q must end in _total", lineNo, base)
+			}
+		case "gauge":
+			if suffix != "" || labels != "" {
+				return fmt.Errorf("obs: line %d: unexpected gauge sample %q", lineNo, name)
+			}
+		case "summary":
+			quantiled := labels != "" && strings.HasPrefix(labels, "{quantile=\"") && strings.HasSuffix(labels, "\"}")
+			switch {
+			case suffix == "" && quantiled:
+			case (suffix == "_sum" || suffix == "_count") && labels == "":
+			default:
+				return fmt.Errorf("obs: line %d: unexpected summary sample %q", lineNo, name)
+			}
+		}
+	}
+	return nil
+}
+
+// promFamily strips a recognized sample suffix to find the declared family.
+// Suffix stripping is only attempted when the stripped name was actually
+// declared, so a gauge legitimately named "x_total" still lints.
+func promFamily(base string, types map[string]string) (fam, suffix string) {
+	for _, s := range []string{"_total", "_sum", "_count"} {
+		if strings.HasSuffix(base, s) {
+			if _, ok := types[strings.TrimSuffix(base, s)]; ok {
+				return strings.TrimSuffix(base, s), s
+			}
+		}
+	}
+	return base, ""
+}
+
+// splitPromSample splits "name value" (optionally "name{labels} value").
+func splitPromSample(line string) (name, value string, ok bool) {
+	j := strings.LastIndexByte(line, ' ')
+	if j <= 0 || j == len(line)-1 {
+		return "", "", false
+	}
+	return line[:j], line[j+1:], true
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

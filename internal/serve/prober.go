@@ -6,9 +6,12 @@ import (
 	"sync"
 	"time"
 
+	"fmt"
+
 	"github.com/ict-repro/mpid/internal/hadoop"
 	"github.com/ict-repro/mpid/internal/jetty"
 	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/obs"
 )
 
 // ProbeConfig paces the active liveness prober.
@@ -104,6 +107,7 @@ type Prober struct {
 	cfg    ProbeConfig
 	cc     hadoop.ClusterControl
 	met    *metrics.Registry
+	ev     *obs.Recorder
 	client *jetty.Client
 
 	stop chan struct{}
@@ -115,12 +119,15 @@ type Prober struct {
 
 // NewProber builds a prober over a cluster control handle. Metrics (may be
 // nil) receives "probe.sent", "probe.lost", "probe.verdicts" counters and
-// a "probe.rtt" timer.
-func NewProber(cfg ProbeConfig, cc hadoop.ClusterControl, met *metrics.Registry) *Prober {
+// a "probe.rtt" timer; ev (may be nil) receives an obs.EvProbeVerdict
+// flight-recorder event whenever a dead verdict latches, emitted before
+// the verdict is delivered to the engine.
+func NewProber(cfg ProbeConfig, cc hadoop.ClusterControl, met *metrics.Registry, ev *obs.Recorder) *Prober {
 	return &Prober{
 		cfg:    cfg.withDefaults(),
 		cc:     cc,
 		met:    met,
+		ev:     ev,
 		client: jetty.NewClient(),
 		stop:   make(chan struct{}),
 		states: make(map[int]*probeState),
@@ -208,10 +215,31 @@ func (p *Prober) probe(tr hadoop.TrackerState) {
 	p.mu.Unlock()
 
 	if deliver {
+		// Emit the verdict before delivering it: MarkLost synchronously
+		// emits the attempt.lost events, so this order keeps the flight
+		// recorder causal (verdict, then losses, then re-scheduling).
+		p.ev.Emit(obs.Event{Type: obs.EvProbeVerdict,
+			Detail: fmt.Sprintf("tracker %d (%s) dead after %d consecutive losses",
+				tr.ID, tr.Addr, p.cfg.DeadAfter)})
 		if p.cc.MarkLost(tr.ID) {
 			p.met.Counter("probe.verdicts").Inc()
 		}
 	}
+}
+
+// DeadCount is how many trackers currently hold a latched dead verdict —
+// the /healthz probe check's input. A flapped tracker that answered again
+// has re-armed and no longer counts.
+func (p *Prober) DeadCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, ps := range p.states {
+		if ps.verdict {
+			n++
+		}
+	}
+	return n
 }
 
 // Stats snapshots every probed tracker, ordered by id.

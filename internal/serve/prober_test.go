@@ -66,7 +66,7 @@ func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool)
 func TestProberVerdictAfterConsecutiveLosses(t *testing.T) {
 	cc := &fakeCC{trackers: []hadoop.TrackerState{{ID: 0, Addr: "127.0.0.1:1"}}}
 	met := metrics.NewRegistry()
-	p := NewProber(ProbeConfig{Interval: 2 * time.Millisecond, Timeout: 20 * time.Millisecond, DeadAfter: 3}, cc, met)
+	p := NewProber(ProbeConfig{Interval: 2 * time.Millisecond, Timeout: 20 * time.Millisecond, DeadAfter: 3}, cc, met, nil)
 	p.Start()
 	defer p.Stop()
 
@@ -109,7 +109,7 @@ func TestProberReArmsAfterRecovery(t *testing.T) {
 
 	cc := &fakeCC{trackers: []hadoop.TrackerState{{ID: 7, Addr: addr}}}
 	met := metrics.NewRegistry()
-	p := NewProber(ProbeConfig{Interval: 2 * time.Millisecond, Timeout: 50 * time.Millisecond, DeadAfter: 3}, cc, met)
+	p := NewProber(ProbeConfig{Interval: 2 * time.Millisecond, Timeout: 50 * time.Millisecond, DeadAfter: 3}, cc, met, nil)
 	p.Start()
 	defer p.Stop()
 

@@ -44,6 +44,7 @@ import (
 	"github.com/ict-repro/mpid/internal/hadoop"
 	"github.com/ict-repro/mpid/internal/mapred"
 	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/obs"
 	"github.com/ict-repro/mpid/internal/trace"
 )
 
@@ -105,6 +106,11 @@ type Config struct {
 	// Metrics is the service-wide registry (default fresh). Per-job
 	// registries are children of it, so its counters are fleet totals.
 	Metrics *metrics.Registry
+	// Events is the service-wide flight recorder (default a fresh
+	// DefaultEventCap ring). Each job records into a child of it stamped
+	// with the job's id and tenant, so the service ring interleaves every
+	// job's admission, attempt, probe and fault events.
+	Events *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +128,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
+	}
+	if c.Events == nil {
+		c.Events = obs.NewRecorder(0)
 	}
 	return c
 }
@@ -239,8 +248,10 @@ type Service struct {
 	cfg Config
 	met *metrics.Registry
 	tr  *trace.Tracer
+	ev  *obs.Recorder
 
 	mu       sync.Mutex
+	probers  map[int64]*Prober // running jobs' probers, for health
 	tenants  map[string]*tenantQueue
 	ring     []string // tenant round-robin order, append-only
 	rr       int      // next ring slot to serve
@@ -263,6 +274,8 @@ func New(cfg Config) *Service {
 		cfg:     cfg,
 		met:     cfg.Metrics,
 		tr:      tr,
+		ev:      cfg.Events,
+		probers: make(map[int64]*Prober),
 		tenants: make(map[string]*tenantQueue),
 		drained: make(chan struct{}),
 		jobs:    make(map[int64]*Job),
@@ -277,6 +290,10 @@ func (s *Service) Metrics() *metrics.Registry { return s.met }
 // job's spans fold into.
 func (s *Service) Tracer() *trace.Tracer { return s.tr }
 
+// Events returns the service-wide flight recorder every job's events fold
+// into.
+func (s *Service) Events() *obs.Recorder { return s.ev }
+
 // Submit queues a job for the tenant, subject to admission control. It
 // returns immediately: a *Job handle on admission, ErrDraining after
 // shutdown began, or a *SaturatedError when slots and queue are full.
@@ -289,12 +306,15 @@ func (s *Service) Submit(tenant, name string, job mapred.Job, splits []mapred.Sp
 	tq := s.tenantLocked(tenant)
 	if s.draining {
 		s.met.Counter("serve.rejected_draining").Inc()
+		s.ev.Emit(obs.Event{Type: obs.EvJobRejected, Tenant: tenant, Detail: "draining"})
 		return nil, ErrDraining
 	}
 	depth := s.cfg.Slots + s.cfg.QueueDepth
 	if backlog := s.running + s.queued; backlog >= depth {
 		tq.rejected++
 		s.met.Counter("serve.rejected").Inc()
+		s.ev.Emit(obs.Event{Type: obs.EvJobRejected, Tenant: tenant,
+			Detail: fmt.Sprintf("saturated: %d/%d backlogged", backlog, depth)})
 		return nil, &SaturatedError{
 			Queued:     backlog,
 			Depth:      depth,
@@ -321,6 +341,7 @@ func (s *Service) Submit(tenant, name string, job mapred.Job, splits []mapred.Sp
 	s.queued++
 	s.met.Counter("serve.submitted").Inc()
 	s.met.Gauge("serve.queued").Set(int64(s.queued))
+	s.ev.Emit(obs.Event{Type: obs.EvJobAdmitted, Job: j.ID, Tenant: tenant, Detail: name})
 	s.dispatchLocked()
 	return j, nil
 }
@@ -407,12 +428,20 @@ func (s *Service) runJob(j *Job) {
 	// concurrent jobs never see each other's counters or spans.
 	cfg.Metrics = s.met.NewChild()
 	cfg.Tracer = trace.New("jobtracker")
+	// The child recorder stamps this job's id and tenant on every engine
+	// event and folds them into the service-wide ring.
+	cfg.Events = s.ev.NewChild(j.ID, j.Tenant)
 	var prober *Prober
 	if !s.cfg.Probe.Disable {
 		userWatch := cfg.Watch
 		cfg.Watch = func(cc hadoop.ClusterControl) {
-			prober = NewProber(s.cfg.Probe, cc, cfg.Metrics)
+			prober = NewProber(s.cfg.Probe, cc, cfg.Metrics, cfg.Events)
 			prober.Start()
+			// Registered probers drive the /healthz probe check; the entry
+			// lives exactly as long as the job runs.
+			s.mu.Lock()
+			s.probers[j.ID] = prober
+			s.mu.Unlock()
 			if userWatch != nil {
 				userWatch(cc)
 			}
@@ -427,8 +456,16 @@ func (s *Service) runJob(j *Job) {
 	s.tr.Add(cfg.Tracer.Drain()...)
 	j.Result, j.Report, j.Err = res, rep, err
 
+	if err == nil {
+		cfg.Events.Emit(obs.Event{Type: obs.EvJobDone, Detail: j.Name})
+	} else {
+		cfg.Events.Emit(obs.Event{Type: obs.EvJobFailed,
+			Detail: fmt.Sprintf("%s: %v", j.Name, err)})
+	}
+
 	now := time.Now()
 	s.mu.Lock()
+	delete(s.probers, j.ID)
 	j.finished = now
 	tq := s.tenants[j.Tenant]
 	tq.running--
@@ -487,6 +524,8 @@ func (s *Service) Drain(timeout time.Duration) error {
 	if !s.draining {
 		s.draining = true
 		s.met.Counter("serve.drains").Inc()
+		s.ev.Emit(obs.Event{Type: obs.EvServiceDrain,
+			Detail: fmt.Sprintf("%d running, %d queued, budget %v", s.running, s.queued, timeout)})
 		if s.running == 0 && s.queued == 0 {
 			close(s.drained)
 		}
@@ -510,11 +549,90 @@ func (s *Service) Drain(timeout time.Duration) error {
 		if j.state == StateQueued || j.state == StateRunning {
 			j.cancel()
 			canceled++
+			s.ev.Emit(obs.Event{Type: obs.EvJobDrained, Job: j.ID, Tenant: j.Tenant,
+				Detail: fmt.Sprintf("canceled %s after %v drain budget", j.state, timeout)})
 		}
 	}
 	s.mu.Unlock()
 	<-ch
 	return fmt.Errorf("serve: drain timed out after %v, canceled %d jobs", timeout, canceled)
+}
+
+// DeadTrackers counts latched dead-tracker verdicts across all running
+// jobs' probers — nonzero while a probe-detected death is still being
+// recovered from (the verdict clears when the job finishes or the tracker
+// answers again).
+func (s *Service) DeadTrackers() int {
+	s.mu.Lock()
+	probers := make([]*Prober, 0, len(s.probers))
+	for _, p := range s.probers {
+		probers = append(probers, p)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, p := range probers {
+		n += p.DeadCount()
+	}
+	return n
+}
+
+// Saturated reports whether admission control is at capacity: the next
+// Submit would be rejected.
+func (s *Service) Saturated() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running+s.queued >= s.cfg.Slots+s.cfg.QueueDepth
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Health builds the service's /healthz evaluator: "probe" fails while any
+// running job's prober holds a latched dead-tracker verdict, "saturation"
+// fails while admission control is rejecting, "draining" fails once
+// shutdown has begun (so load balancers stop routing to a daemon on its
+// way out).
+func (s *Service) Health() *obs.Health {
+	h := obs.NewHealth()
+	h.Register("probe", func() obs.Status {
+		if n := s.DeadTrackers(); n > 0 {
+			return obs.Unhealthy("%d dead trackers under recovery", n)
+		}
+		return obs.Healthy("0 dead trackers")
+	})
+	h.Register("saturation", func() obs.Status {
+		st := s.Stats()
+		if s.Saturated() {
+			return obs.Unhealthy("backlog %d/%d", st.Running+st.Queued, s.cfg.Slots+s.cfg.QueueDepth)
+		}
+		return obs.Healthy("backlog %d/%d", st.Running+st.Queued, s.cfg.Slots+s.cfg.QueueDepth)
+	})
+	h.Register("draining", func() obs.Status {
+		if s.Draining() {
+			return obs.Unhealthy("shutdown in progress")
+		}
+		return obs.Healthy("admitting")
+	})
+	return h
+}
+
+// DefaultSeries selects the service counters, gauges and timers worth a
+// soak-length history: admission and completion rates, backlog levels,
+// fault-recovery activity, and job/probe latency percentiles.
+func DefaultSeries() obs.SeriesConfig {
+	return obs.SeriesConfig{
+		Counters: []string{
+			"serve.submitted", "serve.done", "serve.failed", "serve.rejected",
+			"probe.lost", "probe.verdicts", "rpc.retries",
+			"hadoop.reexecutions", "shuffle.fetch_errors", "faults.injected",
+		},
+		Gauges: []string{"serve.running", "serve.queued"},
+		Timers: []string{"serve.job_latency", "probe.rtt"},
+	}
 }
 
 // TenantStats is one tenant's lifetime accounting.

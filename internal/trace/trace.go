@@ -175,14 +175,17 @@ func (t *Tracer) Record(parent Context, name, kind string, start, finish time.Ti
 }
 
 // Instant records an already-finished zero-duration span (an event): the
-// fault injector's firings use it.
-func (t *Tracer) Instant(parent Context, name, kind string, notes ...Annotation) {
+// fault injector's firings use it. It returns the recorded span's context so
+// callers can cross-link the event elsewhere (a nil tracer returns the zero
+// Context).
+func (t *Tracer) Instant(parent Context, name, kind string, notes ...Annotation) Context {
 	if t == nil {
-		return
+		return Context{}
 	}
 	s := t.start(parent, name, kind)
 	s.Notes = append(s.Notes, notes...)
 	s.End()
+	return s.Context()
 }
 
 // SetCap bounds the number of finished spans the tracer retains: once more
