@@ -3,14 +3,17 @@
 //   - suite "shuffle": the reduce-side shuffle engine benchmark — the
 //     legacy buffer-then-sort engine against the pipelined run/merge
 //     engine (internal/shuffle) — written as BENCH_shuffle.json.
+//
 //   - suite "mpid": the MPI-D core benchmark — the same live WordCount
 //     through the optimized core (arena send buffer, pooled transport,
 //     streaming receive merge), the legacy core (LegacySend+LegacyGroup)
 //     and the real mini-Hadoop engine — written as BENCH_mpid.json.
+//
 //   - suite "serve": the job-service soak — a swarm of concurrent tenant
 //     clients submitting WordCount jobs through mpid-serve's RPC
 //     front-end, reporting p50/p99 job latency, backpressure counts and
 //     the cross-tenant fairness ratio — written as BENCH_serve.json.
+//
 //   - suite "workloads": the full workload suite — WordCount, TeraSort
 //     (uniform and Zipf-skewed keys), inverted index, grep, two-table
 //     join, chained multi-round PageRank — each run on the fast MPI-D
@@ -18,12 +21,22 @@
 //     output before timing, reporting per-workload p50 times and shuffle
 //     bytes — written as BENCH_workloads.json.
 //
-//	mpid-bench -o BENCH_shuffle.json                        full shuffle baseline
-//	mpid-bench -suite mpid -o BENCH_mpid.json               full MPI-D core baseline
-//	mpid-bench -suite serve -o BENCH_serve.json             full job-service soak
-//	mpid-bench -suite workloads -o BENCH_workloads.json     full workload suite
-//	mpid-bench -suite workloads -smoke -o /tmp/bench.json   seconds-scale CI smoke run
-//	mpid-bench -check                                       regression gate vs committed baselines
+//   - suite "shufflebytes": the shuffle-byte-reduction benchmark —
+//     WordCount and the inverted index under the three byte-reduction
+//     mechanisms (the hadoop engine's per-tracker NodeCombine stage, the
+//     MPI-D shared NodeArena, and the coded-shuffle prototype at
+//     replication r=1..3), each gated on byte-identical output and
+//     reporting shipped bytes, the lower-is-better bytes ratio against
+//     its in-family baseline, and p50 times — written as
+//     BENCH_shufflebytes.json.
+//
+//     mpid-bench -o BENCH_shuffle.json                        full shuffle baseline
+//     mpid-bench -suite mpid -o BENCH_mpid.json               full MPI-D core baseline
+//     mpid-bench -suite serve -o BENCH_serve.json             full job-service soak
+//     mpid-bench -suite workloads -o BENCH_workloads.json     full workload suite
+//     mpid-bench -suite shufflebytes -o BENCH_shufflebytes.json  full shuffle-byte baseline
+//     mpid-bench -suite workloads -smoke -o /tmp/bench.json   seconds-scale CI smoke run
+//     mpid-bench -check                                       regression gate vs committed baselines
 //
 // -check re-runs every suite's smoke configuration and compares the
 // scale-free headline ratios (speedups, fairness ratio) against the
@@ -35,7 +48,7 @@
 // Flags override individual workload knobs (shuffle: -maps, -reducers,
 // -keys, -vocab, -copiers, -factor; mpid: -size, -reducers, -vocab;
 // serve: -tenants, -jobs, -slots, -queue, -size, -reducers; workloads:
-// -mappers, -rounds; common: -reps, -seed). Each suite validates output
+// -mappers, -rounds; shufflebytes: -mappers; common: -reps, -seed). Each suite validates output
 // equality before timing anything, prints its summary table to stdout,
 // and exits non-zero if the run fails.
 package main
@@ -50,7 +63,7 @@ import (
 )
 
 func main() {
-	suite := flag.String("suite", "shuffle", "benchmark suite: shuffle | mpid | serve | workloads")
+	suite := flag.String("suite", "shuffle", "benchmark suite: shuffle | mpid | serve | workloads | shufflebytes")
 	out := flag.String("o", "", "write the result JSON to this file (e.g. BENCH_shuffle.json)")
 	smoke := flag.Bool("smoke", false, "use the seconds-scale smoke configuration")
 	maps := flag.Int("maps", 0, "shuffle: map segments per reducer")
@@ -207,8 +220,27 @@ func main() {
 		fmt.Print(experiments.RenderWorkloadBench(res))
 		write(*out, func() ([]byte, error) { return experiments.MarshalWorkloadBench(res) })
 
+	case "shufflebytes":
+		cfg := experiments.DefaultShuffleBytesBench()
+		if *smoke {
+			cfg = experiments.SmokeShuffleBytesBench()
+		}
+		if *mappers > 0 {
+			cfg.Mappers = *mappers
+		}
+		if *reps > 0 {
+			cfg.Reps = *reps
+		}
+		res, err := experiments.RunShuffleBytesBench(cfg)
+		if err != nil {
+			fail(err)
+		}
+		res.Timestamp = time.Now().UTC().Format(time.RFC3339)
+		fmt.Print(experiments.RenderShuffleBytesBench(res))
+		write(*out, func() ([]byte, error) { return experiments.MarshalShuffleBytesBench(res) })
+
 	default:
-		fail(fmt.Errorf("unknown suite %q (want shuffle, mpid, serve or workloads)", *suite))
+		fail(fmt.Errorf("unknown suite %q (want shuffle, mpid, serve, workloads or shufflebytes)", *suite))
 	}
 }
 

@@ -15,10 +15,14 @@ func main() {
 	maxGB := flag.Int64("max", 100, "largest input size in GB")
 	interconnects := flag.Bool("interconnects", false, "also project MPI-D onto 10GigE and InfiniBand (§VI(4))")
 	live := flag.Bool("live", false, "also run the live engine comparison: real mini-Hadoop vs real MPI-D on this machine")
+	coded := flag.Bool("coded", false, "also sweep coded-shuffle map replication r=1,2,3 (shipped-bytes extension)")
 	flag.Parse()
 
 	rows := experiments.Figure6(*maxGB)
 	fmt.Println(experiments.RenderFigure6(rows))
+	if *coded {
+		fmt.Println(experiments.RenderFigure6Coded(experiments.Figure6Coded(*maxGB, []int{1, 2, 3})))
+	}
 	if *interconnects {
 		fmt.Println(experiments.RenderInterconnects(experiments.ExtensionInterconnects(*maxGB)))
 	}

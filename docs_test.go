@@ -109,6 +109,56 @@ func fileHasPrefixComment(t *testing.T, f, prefix string) bool {
 	return false
 }
 
+// TestDocSections pins the load-bearing sections and names the
+// top-level docs promise each other: DESIGN.md section numbers that
+// other docs cite, the flags and packages ARCHITECTURE.md documents,
+// and the committed-baseline schemas EXPERIMENTS.md describes. A
+// rename or deletion that breaks a cross-reference fails here instead
+// of silently leaving a dangling mention.
+func TestDocSections(t *testing.T) {
+	required := map[string][]string{
+		"DESIGN.md": {
+			"## 10. Pipelined shuffle/merge engine",
+			"## 11. Zero-allocation MPI-D fast path",
+			"## 12. The job service (mpid-serve)",
+			"## 13. Shuffle-byte reduction",
+			"NodeCombine", "NodeArena", "Mcast", "mapred.combiner.fallback",
+		},
+		"EXPERIMENTS.md": {
+			"## Extension — Workload suite",
+			"## Extension — Shuffle-byte reduction",
+			"### BENCH_workloads.json schema",
+			"### BENCH_shufflebytes.json schema",
+			"### Figure 6 (coded)",
+			"coded-r1", "mpid-nodearena", "hadoop-nodecombine",
+		},
+		"ARCHITECTURE.md": {
+			"**`internal/coded`**",
+			"Config.NodeCombine", "Job.NodeCombine", "core.NodeArena",
+			"Mcast", "CodedReplication",
+			"shuffle-byte reduction (ext.)",
+		},
+		"README.md": {
+			"BENCH_shuffle.json", "BENCH_mpid.json", "BENCH_serve.json",
+			"BENCH_workloads.json", "BENCH_shufflebytes.json",
+			"-suite shufflebytes",
+		},
+	}
+	for doc, wants := range required {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("%s: %v", doc, err)
+			continue
+		}
+		text := string(data)
+		for _, want := range wants {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s: missing required section or name %q", doc, want)
+			}
+		}
+	}
+}
+
 // mdLink matches inline markdown links [text](target); images and
 // reference-style links are out of scope for these docs.
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)

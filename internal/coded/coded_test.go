@@ -1,0 +1,190 @@
+package coded
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/ict-repro/mpid/internal/kv"
+	"github.com/ict-repro/mpid/internal/mapred"
+)
+
+var words = []string{
+	"map", "reduce", "shuffle", "merge", "spill", "sort", "combine",
+	"partition", "tracker", "heartbeat", "jetty", "rank", "arena",
+}
+
+func genText(size, seed int) []byte {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	var buf bytes.Buffer
+	for buf.Len() < size {
+		n := 3 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				buf.WriteByte(' ')
+			}
+			buf.WriteString(words[rng.Intn(len(words))])
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+var wcMapper = mapred.MapperFunc(func(_, line []byte, emit mapred.Emit) error {
+	for _, w := range bytes.Fields(line) {
+		if err := emit(w, kv.AppendVLong(nil, 1)); err != nil {
+			return err
+		}
+	}
+	return nil
+})
+
+var wcReducer = mapred.ReducerFunc(func(key []byte, values [][]byte, emit mapred.Emit) error {
+	var total int64
+	for _, v := range values {
+		n, _, err := kv.ReadVLong(v)
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	return emit(key, kv.AppendVLong(nil, total))
+})
+
+func wcJob(reducers int) mapred.Job {
+	return mapred.Job{
+		Name:        "wc-coded",
+		Mapper:      wcMapper,
+		Reducer:     wcReducer,
+		Combiner:    mapred.CombinerFromReducer(wcReducer),
+		NumReducers: reducers,
+	}
+}
+
+func encodePairs(pairs []kv.Pair) []byte {
+	var buf []byte
+	for _, p := range pairs {
+		buf = kv.AppendPair(buf, p)
+	}
+	return buf
+}
+
+// TestCodedByteIdenticalAcrossReplication: coded shuffle at every
+// replication factor must reproduce the MPI-D engine's output bit for bit
+// (canonical pair order), with r = 1 degenerating to a pure unicast
+// schedule and r >= 2 actually multicasting coded packets.
+func TestCodedByteIdenticalAcrossReplication(t *testing.T) {
+	text := genText(40_000, 31)
+	splits := mapred.SplitText(text, 2_500)
+	want, err := mapred.Run(wcJob(5), splits, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := encodePairs(want.Pairs())
+	for _, r := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("r=%d", r), func(t *testing.T) {
+			res, st, err := Run(wcJob(5), splits, Options{Nodes: 4, Replication: r})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(encodePairs(res.Pairs()), ref) {
+				t.Fatalf("coded r=%d output differs from mapred.Run", r)
+			}
+			if want := int64(len(splits) * r); st.MapExecutions != want {
+				t.Errorf("MapExecutions = %d, want %d (r× replication)", st.MapExecutions, want)
+			}
+			if r == 1 {
+				if st.Packets != 0 || st.MulticastBytes != 0 {
+					t.Errorf("r=1 multicasted (%d packets, %d bytes); must be pure unicast", st.Packets, st.MulticastBytes)
+				}
+				if st.UnicastBytes == 0 {
+					t.Error("r=1 shipped no unicast bytes")
+				}
+			} else {
+				if st.Packets == 0 || st.MulticastBytes == 0 {
+					t.Errorf("r=%d sent no coded packets", r)
+				}
+				if st.UnicastBytes != 0 {
+					t.Errorf("r=%d shipped %d unicast bytes without any loss", r, st.UnicastBytes)
+				}
+			}
+			if st.ShippedBytes != st.MulticastBytes+st.UnicastBytes {
+				t.Errorf("ShippedBytes %d != multicast %d + unicast %d", st.ShippedBytes, st.MulticastBytes, st.UnicastBytes)
+			}
+		})
+	}
+}
+
+// TestCodedReplicationReducesShippedBytes is the headline tradeoff: paying
+// r× map executions buys an ~r× reduction in shipped shuffle bytes, since
+// each multicast packet serves r destinations for one transmission.
+func TestCodedReplicationReducesShippedBytes(t *testing.T) {
+	text := genText(60_000, 32)
+	splits := mapred.SplitText(text, 2_000)
+	shipped := make(map[int]int64)
+	for _, r := range []int{1, 2, 3} {
+		_, st, err := Run(wcJob(6), splits, Options{Nodes: 4, Replication: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shipped[r] = st.ShippedBytes
+		t.Logf("r=%d: shipped %d bytes (%d multicast packets)", r, st.ShippedBytes, st.Packets)
+	}
+	if shipped[2] >= shipped[1] {
+		t.Errorf("r=2 did not reduce shipped bytes: %d >= %d", shipped[2], shipped[1])
+	}
+	if shipped[3] >= shipped[1] {
+		t.Errorf("r=3 did not reduce shipped bytes vs r=1: %d >= %d", shipped[3], shipped[1])
+	}
+}
+
+// TestCodedLostNodeFallsBackToUnicast: a node going multicast-silent
+// mid-schedule must not change job output — every starved destination
+// re-fetches its missing raw part point-to-point from a surviving replica
+// — and the recovery traffic shows up as UnicastBytes.
+func TestCodedLostNodeFallsBackToUnicast(t *testing.T) {
+	text := genText(40_000, 33)
+	splits := mapred.SplitText(text, 2_500)
+	clean, stClean, err := Run(wcJob(5), splits, Options{Nodes: 4, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, st, err := Run(wcJob(5), splits, Options{
+		Nodes: 4, Replication: 2,
+		Loss: &NodeLoss{Node: 1, AfterPackets: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodePairs(lossy.Pairs()), encodePairs(clean.Pairs())) {
+		t.Fatal("lost multicaster changed job output")
+	}
+	if st.UnicastBytes == 0 {
+		t.Fatal("no unicast fallback traffic after node loss")
+	}
+	if st.Packets >= stClean.Packets {
+		t.Errorf("lost node still sourced a full packet schedule: %d >= %d", st.Packets, stClean.Packets)
+	}
+}
+
+// TestCodedOptionValidation: the degenerate and unsupported corners fail
+// loudly instead of wedging the exchange.
+func TestCodedOptionValidation(t *testing.T) {
+	splits := mapred.SplitText([]byte("a b c\n"), 10)
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"zero nodes", Options{Nodes: 0, Replication: 1}},
+		{"replication above nodes", Options{Nodes: 2, Replication: 3}},
+		{"no room for multicast group", Options{Nodes: 2, Replication: 2}},
+		{"loss without redundancy", Options{Nodes: 3, Replication: 1, Loss: &NodeLoss{Node: 0}}},
+		{"lost node out of range", Options{Nodes: 3, Replication: 2, Loss: &NodeLoss{Node: 7}}},
+	}
+	for _, tc := range cases {
+		if _, _, err := Run(wcJob(2), splits, tc.opt); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}

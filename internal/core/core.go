@@ -98,6 +98,14 @@ type Config struct {
 	// (with disjoint value lists), as in the paper's streaming reducer.
 	Streaming bool
 
+	// NodeArena, when set on a sender rank, replaces its private send
+	// buffer with the given node-shared arena, so the incremental combiner
+	// folds keys across every co-located sender before anything ships —
+	// in-node combining. All co-located senders must receive the same
+	// instance; access is serialized behind its mutex. Incompatible with
+	// LegacySend. See NodeArena for the full semantics.
+	NodeArena *NodeArena
+
 	// LegacySend selects the original map-based send buffer (one
 	// allocation per pair, map rebuilt per spill) instead of the arena
 	// buffer. Kept as the A/B baseline; the two produce byte-identical
@@ -151,6 +159,7 @@ type D struct {
 
 	// Send side.
 	buf        sendBuffer
+	nodeArena  *NodeArena     // shared buffer, when node combining; buf aliases its arena
 	partBufs   [][]byte       // partition buffers retained across spills
 	reuseParts bool           // transport copies payloads, so retaining is safe
 	pending    []*mpi.Request // in-flight Isends (Async mode)
@@ -223,9 +232,16 @@ func Init(cfg Config) (*D, error) {
 	d.mergeTimer = cfg.Metrics.Timer("mpid.recv.merge")
 	d.partReuse = cfg.Metrics.Counter("mpid.spill.partbuf.reused")
 	if d.isSender {
-		if cfg.LegacySend {
+		switch {
+		case cfg.NodeArena != nil:
+			if cfg.LegacySend {
+				return nil, errors.New("mpid: Config.NodeArena requires the arena send buffer (unset LegacySend)")
+			}
+			d.nodeArena = cfg.NodeArena
+			d.buf = cfg.NodeArena.attach()
+		case cfg.LegacySend:
 			d.buf = newHashBuffer()
-		} else {
+		default:
 			d.buf = newArenaBuffer()
 		}
 		// Partition buffers may only be retained across spills when the
@@ -281,11 +297,27 @@ func (d *D) Finalize() error {
 // CloseSend flushes this rank's buffer and tells every reducer this sender
 // is done, without tearing down the receive side. A rank that both sends
 // and receives calls CloseSend before draining Recv.
+//
+// On a shared NodeArena, only the last co-located member to close spills
+// the leftovers; earlier closers leave them buffered so the cross-rank
+// combine stays maximal. Every member still emits its own DoneTag markers,
+// and reducers drain data until all markers arrived, so the late shared
+// spill is always consumed.
 func (d *D) CloseSend() error {
 	if !d.isSender || !d.sendOpen {
 		return nil
 	}
-	if err := d.spill(); err != nil {
+	if d.nodeArena != nil {
+		d.nodeArena.mu.Lock()
+		var err error
+		if d.nodeArena.detachLocked() {
+			err = d.spill()
+		}
+		d.nodeArena.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	} else if err := d.spill(); err != nil {
 		return err
 	}
 	if err := d.completePending(); err != nil {

@@ -29,6 +29,9 @@ type benchMetric struct {
 	name        string
 	value       float64
 	lowerBetter bool
+	// absolute gates current <= value directly with no tolerance scaling,
+	// for invariants ("still below 1.0") rather than magnitudes.
+	absolute bool
 }
 
 // BenchCheckRow is one metric's verdict.
@@ -50,7 +53,11 @@ type BenchCheckResult struct {
 }
 
 // benchSuites orders the gate's suites; each maps to BENCH_<suite>.json.
-var benchSuites = []string{"shuffle", "mpid", "serve", "workloads"}
+var benchSuites = []string{"shuffle", "mpid", "serve", "workloads", "shufflebytes"}
+
+// shuffleBytesBaselines are the shufflebytes modes whose bytes_ratio is
+// 1.0 by construction; the gate compares only the reduction modes.
+var shuffleBytesBaselines = map[string]bool{"hadoop": true, "mpid": true, "coded-r1": true}
 
 // RunBenchCheck loads the committed baselines from dir, re-runs the smoke
 // configuration of every suite that has one, and compares the headline
@@ -103,7 +110,9 @@ func compareBench(base map[string][]benchMetric, current map[string]map[string]f
 				Suite: suite, Metric: m.name,
 				Baseline: m.value, Current: c, LowerBetter: m.lowerBetter,
 			}
-			if m.lowerBetter {
+			if m.absolute {
+				row.OK = c <= m.value
+			} else if m.lowerBetter {
 				row.OK = c <= m.value*(1+tol)
 			} else {
 				row.OK = c >= m.value*(1-tol)
@@ -201,6 +210,39 @@ func extractBenchMetrics(suite string, data []byte) ([]benchMetric, error) {
 			out = append(out, benchMetric{name: name + ".speedup_vs_hadoop", value: v})
 		}
 		return out, nil
+	case "shufflebytes":
+		rows, ok := doc["rows"].([]any)
+		if !ok {
+			return nil, fmt.Errorf("missing %q array", "rows")
+		}
+		var out []benchMetric
+		for i, raw := range rows {
+			row, ok := raw.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("rows[%d]: not an object", i)
+			}
+			wl, _ := row["workload"].(string)
+			mode, _ := row["mode"].(string)
+			if wl == "" || mode == "" {
+				return nil, fmt.Errorf("rows[%d]: missing workload or mode", i)
+			}
+			if shuffleBytesBaselines[mode] {
+				continue
+			}
+			v, err := num(row, "bytes_ratio")
+			if err != nil {
+				return nil, fmt.Errorf("rows[%d] (%s/%s): %w", i, wl, mode, err)
+			}
+			// The committed magnitude is scale-dependent — smoke inputs
+			// duplicate keys less than the full-scale run, and hadoop
+			// group formation varies with heartbeat timing — so the gate
+			// checks the scale-free invariant instead: the mode still
+			// ships fewer bytes than its in-family baseline. A ratio at
+			// or above 1.0 means the byte reduction stopped working.
+			_ = v
+			out = append(out, benchMetric{name: wl + "." + mode + ".bytes_ratio", value: 1.0, lowerBetter: true, absolute: true})
+		}
+		return out, nil
 	}
 	return nil, fmt.Errorf("unknown suite %q", suite)
 }
@@ -238,6 +280,19 @@ func runBenchSmoke(suite string) (map[string]float64, error) {
 		out := make(map[string]float64, len(r.Workloads))
 		for _, row := range r.Workloads {
 			out[row.Name+".speedup_vs_hadoop"] = row.SpeedupVsHadoop
+		}
+		return out, nil
+	case "shufflebytes":
+		r, err := RunShuffleBytesBench(SmokeShuffleBytesBench())
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]float64, len(r.Rows))
+		for _, row := range r.Rows {
+			if shuffleBytesBaselines[row.Mode] {
+				continue
+			}
+			out[row.Workload+"."+row.Mode+".bytes_ratio"] = row.BytesRatio
 		}
 		return out, nil
 	}

@@ -24,6 +24,12 @@ func TestLoadBenchBaselines(t *testing.T) {
 		{"name": "wordcount", "speedup_vs_hadoop": 3.3},
 		{"name": "terasort", "speedup_vs_hadoop": 2.1}
 	]}`)
+	writeBench(t, dir, "shufflebytes", `{"rows": [
+		{"workload": "wordcount", "mode": "hadoop", "bytes_ratio": 1.0},
+		{"workload": "wordcount", "mode": "hadoop-nodecombine", "bytes_ratio": 0.14},
+		{"workload": "wordcount", "mode": "coded-r1", "bytes_ratio": 1.0},
+		{"workload": "wordcount", "mode": "coded-r2", "bytes_ratio": 0.84}
+	]}`)
 
 	base, skipped, err := loadBenchBaselines(dir)
 	if err != nil {
@@ -56,6 +62,17 @@ func TestLoadBenchBaselines(t *testing.T) {
 			t.Fatalf("workloads metric %s = %v, want %v", m.name, m.value, wantWork[m.name])
 		}
 	}
+	// Baseline modes (ratio 1.0 by construction) are excluded; reduction
+	// modes gate on the absolute invariant "still below 1.0", not on the
+	// committed magnitude, which is input-scale-dependent.
+	if got := len(base["shufflebytes"]); got != 2 {
+		t.Fatalf("shufflebytes metrics = %d, want 2", got)
+	}
+	for _, m := range base["shufflebytes"] {
+		if !m.lowerBetter || !m.absolute || m.value != 1.0 {
+			t.Fatalf("shufflebytes metric = %+v, want absolute lower-better 1.0", m)
+		}
+	}
 }
 
 func TestLoadBenchBaselinesMissingFilesSkipped(t *testing.T) {
@@ -68,7 +85,7 @@ func TestLoadBenchBaselinesMissingFilesSkipped(t *testing.T) {
 	if len(base) != 1 || len(base["shuffle"]) != 1 {
 		t.Fatalf("base = %v, want only shuffle", base)
 	}
-	want := map[string]bool{"mpid": true, "serve": true, "workloads": true}
+	want := map[string]bool{"mpid": true, "serve": true, "workloads": true, "shufflebytes": true}
 	if len(skipped) != len(want) {
 		t.Fatalf("skipped = %v, want %v", skipped, want)
 	}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/ict-repro/mpid/internal/coded"
+	"github.com/ict-repro/mpid/internal/hadoop"
+	"github.com/ict-repro/mpid/internal/kv"
+	"github.com/ict-repro/mpid/internal/mapred"
+	"github.com/ict-repro/mpid/internal/metrics"
+	"github.com/ict-repro/mpid/internal/workload"
+)
+
+// ShuffleBytesBench is the shuffle-byte-reduction benchmark behind
+// BENCH_shufflebytes.json: for combiner-friendly suite workloads it
+// measures how many bytes each engine actually ships map-to-reduce, under
+// three byte-reduction mechanisms, each against its own in-family
+// baseline:
+//
+//   - hadoop vs hadoop-nodecombine: the per-tracker combine stage
+//     (hadoop.Config.NodeCombine); bytes are the job registry's
+//     shuffle.fetch_bytes, what the reducers pulled over HTTP.
+//   - mpid vs mpid-nodearena: the shared per-node arena
+//     (mapred.Job.NodeCombine); bytes are the MPI-D send counters.
+//   - coded-r1 vs coded-r2/r3: the coded-shuffle prototype
+//     (internal/coded); bytes are Stats.ShippedBytes, multicast packets
+//     counted once per transmission.
+//
+// Every mode is gated on byte-identical canonical output against the fast
+// MPI-D core before anything is timed, the same rule as the workload
+// bench: a byte reduction that changes job output is a bug, not a win.
+
+// ShuffleBytesConfig shapes one bench run.
+type ShuffleBytesConfig struct {
+	// Mappers is the MPI-D mapper rank count, the Hadoop tracker count and
+	// the coded node count (so coded replication r needs r+1 <= Mappers).
+	Mappers int `json:"mappers"`
+	// HeartbeatMs is the Hadoop engine's scaled heartbeat.
+	HeartbeatMs int `json:"heartbeat_ms"`
+	// Reps is how many timed runs each mode gets; p50 is reported.
+	Reps int `json:"reps"`
+	// Replications are the coded-shuffle factors to sweep; 1 is the
+	// in-family baseline and is always included.
+	Replications []int `json:"replications"`
+	// Params holds per-workload parameter overrides, keyed by suite name.
+	Params map[string]map[string]int64 `json:"params,omitempty"`
+}
+
+// DefaultShuffleBytesBench is the committed-baseline configuration: the
+// two suite workloads with the heaviest key duplication (WordCount and the
+// inverted index), inputs sized so the shuffle dominates.
+func DefaultShuffleBytesBench() ShuffleBytesConfig {
+	return ShuffleBytesConfig{
+		Mappers: 4, HeartbeatMs: 25, Reps: 5, Replications: []int{1, 2, 3},
+		Params: map[string]map[string]int64{
+			"wordcount": {"bytes": 2 << 20, "split": 64 << 10},
+			"invindex":  {"docs": 200, "lines": 60, "split": 16 << 10},
+		},
+	}
+}
+
+// SmokeShuffleBytesBench is a seconds-scale configuration for CI smoke
+// runs: two reps, r up to 2, inputs shrunk but still split finely enough
+// that every mapper rank works — node-level combining needs co-located
+// tasks to merge.
+func SmokeShuffleBytesBench() ShuffleBytesConfig {
+	return ShuffleBytesConfig{
+		Mappers: 4, HeartbeatMs: 25, Reps: 2, Replications: []int{1, 2},
+		Params: map[string]map[string]int64{
+			"wordcount": {"bytes": 256 << 10, "split": 8 << 10},
+			"invindex":  {"docs": 80, "lines": 20, "split": 4 << 10},
+		},
+	}
+}
+
+// shuffleBytesWorkloads are the suite specs the bench runs: the ones whose
+// reducers derive sound combiners, so node-level combining has duplicate
+// keys to fold. TeraSort/join/pagerank ship combiner-free and would only
+// measure noise.
+var shuffleBytesWorkloads = []string{"wordcount", "invindex"}
+
+// ShuffleBytesRow is one (workload, mode) measurement.
+type ShuffleBytesRow struct {
+	Workload string `json:"workload"`
+	// Mode is one of hadoop, hadoop-nodecombine, mpid, mpid-nodearena, or
+	// coded-rN.
+	Mode string `json:"mode"`
+	// Bytes is the shipped shuffle bytes of one run (the gate run).
+	Bytes int64 `json:"bytes"`
+	// P50Ms is the median end-to-end job time over Reps runs.
+	P50Ms float64 `json:"p50_ms"`
+	// BytesRatio is Bytes over the mode family's baseline bytes (hadoop,
+	// mpid, coded-r1 respectively); lower is better, 1.0 for baselines.
+	BytesRatio float64 `json:"bytes_ratio"`
+}
+
+// ShuffleBytesResult is the full measurement, the schema of
+// BENCH_shufflebytes.json.
+type ShuffleBytesResult struct {
+	Config    ShuffleBytesConfig `json:"config"`
+	Rows      []ShuffleBytesRow  `json:"rows"`
+	Timestamp string             `json:"timestamp,omitempty"`
+}
+
+// shuffleBytesMode is one engine configuration: a runner returning the
+// canonical output and the shipped bytes, plus the in-family baseline mode
+// its ratio is computed against ("" for baselines themselves).
+type shuffleBytesMode struct {
+	name     string
+	baseline string
+	run      func() ([]kv.Pair, int64, error)
+}
+
+// shuffleBytesModes builds the mode list for one workload case.
+func shuffleBytesModes(job mapred.Job, splits []mapred.Split, cfg ShuffleBytesConfig) []shuffleBytesMode {
+	hadoopRun := func(nodeCombine bool) func() ([]kv.Pair, int64, error) {
+		return func() ([]kv.Pair, int64, error) {
+			reg := metrics.NewRegistry()
+			res, err := hadoop.Run(job, splits, hadoop.Config{
+				NumTrackers: cfg.Mappers, MapSlots: 1, ReduceSlots: 1,
+				Heartbeat:   time.Duration(cfg.HeartbeatMs) * time.Millisecond,
+				NodeCombine: nodeCombine,
+				Metrics:     reg,
+			})
+			if err != nil {
+				return nil, 0, err
+			}
+			return res.Pairs(), reg.Snapshot().Counter("shuffle.fetch_bytes"), nil
+		}
+	}
+	mpidRun := func(nodeCombine bool) func() ([]kv.Pair, int64, error) {
+		return func() ([]kv.Pair, int64, error) {
+			j := job
+			j.NodeCombine = nodeCombine
+			res, err := mapred.Run(j, splits, cfg.Mappers)
+			if err != nil {
+				return nil, 0, err
+			}
+			return res.Pairs(), res.MapCounters.BytesSent, nil
+		}
+	}
+	codedRun := func(r int) func() ([]kv.Pair, int64, error) {
+		return func() ([]kv.Pair, int64, error) {
+			res, st, err := coded.Run(job, splits, coded.Options{Nodes: cfg.Mappers, Replication: r})
+			if err != nil {
+				return nil, 0, err
+			}
+			return res.Pairs(), st.ShippedBytes, nil
+		}
+	}
+	modes := []shuffleBytesMode{
+		{name: "hadoop", run: hadoopRun(false)},
+		{name: "hadoop-nodecombine", baseline: "hadoop", run: hadoopRun(true)},
+		{name: "mpid", run: mpidRun(false)},
+		{name: "mpid-nodearena", baseline: "mpid", run: mpidRun(true)},
+	}
+	rs := cfg.Replications
+	if len(rs) == 0 {
+		rs = []int{1, 2}
+	}
+	for _, r := range rs {
+		m := shuffleBytesMode{name: fmt.Sprintf("coded-r%d", r), run: codedRun(r)}
+		if r != 1 {
+			m.baseline = "coded-r1"
+		}
+		modes = append(modes, m)
+	}
+	return modes
+}
+
+// RunShuffleBytesBench runs every (workload, mode) cell: gate on
+// byte-identical output against the fast MPI-D core, record the gate run's
+// shipped bytes, then time Reps runs and report the p50.
+func RunShuffleBytesBench(cfg ShuffleBytesConfig) (*ShuffleBytesResult, error) {
+	result := &ShuffleBytesResult{Config: cfg}
+	suite := workload.Suite()
+	for _, name := range shuffleBytesWorkloads {
+		var spec *workload.Spec
+		for i := range suite {
+			if suite[i].Name == name {
+				spec = &suite[i]
+				break
+			}
+		}
+		if spec == nil {
+			return nil, fmt.Errorf("shufflebytes: no suite spec %q", name)
+		}
+		job, splits, err := spec.Build(cfg.Params[name])
+		if err != nil {
+			return nil, fmt.Errorf("shufflebytes: build %s: %w", name, err)
+		}
+		want, err := func() ([]kv.Pair, error) {
+			res, err := mapred.Run(job, splits, cfg.Mappers)
+			if err != nil {
+				return nil, err
+			}
+			return res.Pairs(), nil
+		}()
+		if err != nil {
+			return nil, fmt.Errorf("shufflebytes: %s: reference run: %w", name, err)
+		}
+		if len(want) == 0 {
+			return nil, fmt.Errorf("shufflebytes: %s: reference run produced no output", name)
+		}
+
+		baselineBytes := map[string]int64{}
+		for _, m := range shuffleBytesModes(job, splits, cfg) {
+			pairs, bytes, err := m.run()
+			if err != nil {
+				return nil, fmt.Errorf("shufflebytes: %s/%s: %w", name, m.name, err)
+			}
+			if !pairsEqual(want, pairs) {
+				return nil, fmt.Errorf("shufflebytes: %s/%s: output differs from the MPI-D reference (%d vs %d pairs)",
+					name, m.name, len(pairs), len(want))
+			}
+			if bytes <= 0 {
+				return nil, fmt.Errorf("shufflebytes: %s/%s: no shipped bytes recorded", name, m.name)
+			}
+			var t metrics.Timer
+			for i := 0; i < cfg.Reps; i++ {
+				start := time.Now()
+				if _, _, err := m.run(); err != nil {
+					return nil, fmt.Errorf("shufflebytes: %s/%s rep %d: %w", name, m.name, i, err)
+				}
+				t.Observe(float64(time.Since(start).Microseconds()) / 1000)
+			}
+			row := ShuffleBytesRow{Workload: name, Mode: m.name, Bytes: bytes, P50Ms: t.Stats().P50}
+			if m.baseline == "" {
+				baselineBytes[m.name] = bytes
+				row.BytesRatio = 1
+			} else {
+				base, ok := baselineBytes[m.baseline]
+				if !ok || base == 0 {
+					return nil, fmt.Errorf("shufflebytes: %s/%s: baseline %s missing", name, m.name, m.baseline)
+				}
+				row.BytesRatio = float64(bytes) / float64(base)
+			}
+			result.Rows = append(result.Rows, row)
+		}
+	}
+	return result, nil
+}
+
+// MarshalShuffleBytesBench renders the result as the
+// BENCH_shufflebytes.json body.
+func MarshalShuffleBytesBench(r *ShuffleBytesResult) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RenderShuffleBytesBench prints the per-cell table.
+func RenderShuffleBytesBench(r *ShuffleBytesResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shuffle-byte reduction (%d mappers/nodes, %d reps, p50 ms; gated on byte-identical output)\n",
+		r.Config.Mappers, r.Config.Reps)
+	fmt.Fprintf(&b, "  %-11s %-20s %12s %8s %10s\n", "workload", "mode", "bytes", "ratio", "p50 ms")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-11s %-20s %12d %7.2fx %10.1f\n",
+			row.Workload, row.Mode, row.Bytes, row.BytesRatio, row.P50Ms)
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/ict-repro/mpid/internal/coded"
+	"github.com/ict-repro/mpid/internal/mapred"
+	"github.com/ict-repro/mpid/internal/workload"
+)
+
+// TestShuffleByteReductionThreeEngineEquality is the byte-reduction
+// equality gate, run under -race in CI: for every combiner-bearing suite
+// workload, each byte-reduction mode — the hadoop engine with NodeCombine
+// on and off, the MPI-D core with the shared NodeArena on and off, and
+// the coded-shuffle prototype at r ∈ {1,2,3} — must produce canonical
+// output byte-identical to the fast MPI-D reference. A chaos leg loses a
+// coded multicaster mid-schedule and must still match via the unicast
+// re-fetch fallback.
+func TestShuffleByteReductionThreeEngineEquality(t *testing.T) {
+	cfg := SmokeShuffleBytesBench()
+	cfg.Replications = []int{1, 2, 3}
+	for _, name := range shuffleBytesWorkloads {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			suite := workload.Suite()
+			var spec *workload.Spec
+			for i := range suite {
+				if suite[i].Name == name {
+					spec = &suite[i]
+					break
+				}
+			}
+			if spec == nil {
+				t.Fatalf("no suite spec %q", name)
+			}
+			job, splits, err := spec.Build(cfg.Params[name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := mapred.Run(job, splits, cfg.Mappers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ref.Pairs()
+			if len(want) == 0 {
+				t.Fatal("reference run produced no output")
+			}
+			for _, m := range shuffleBytesModes(job, splits, cfg) {
+				pairs, bytes, err := m.run()
+				if err != nil {
+					t.Fatalf("%s: %v", m.name, err)
+				}
+				if !pairsEqual(want, pairs) {
+					t.Errorf("%s: output differs from MPI-D reference (%d vs %d pairs)",
+						m.name, len(pairs), len(want))
+				}
+				if bytes <= 0 {
+					t.Errorf("%s: no shipped bytes recorded", m.name)
+				}
+			}
+			// Chaos: a node going multicast-silent mid-schedule must not
+			// change output — starved reducers unicast-re-fetch the raw
+			// parts from surviving replicas.
+			lossy, st, err := coded.Run(job, splits, coded.Options{
+				Nodes: cfg.Mappers, Replication: 2,
+				Loss: &coded.NodeLoss{Node: 1, AfterPackets: 1},
+			})
+			if err != nil {
+				t.Fatalf("coded with lost node: %v", err)
+			}
+			if !pairsEqual(want, lossy.Pairs()) {
+				t.Error("lost multicaster changed coded output")
+			}
+			if st.UnicastBytes == 0 {
+				t.Error("lost multicaster triggered no unicast fallback")
+			}
+		})
+	}
+}

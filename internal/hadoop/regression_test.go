@@ -1,8 +1,8 @@
 package hadoop
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -89,7 +89,9 @@ func fakeJobTracker(t *testing.T, locs []mapOutputLoc) (string, func()) {
 					resp = kv.AppendVLong(resp, int64(l.mapID))
 					resp = kv.AppendVLong(resp, int64(l.trackerID))
 					resp = kv.AppendBytes(resp, []byte(l.addr))
+					resp = kv.AppendVLong(resp, int64(l.mapID)) // own group: uncombined
 				}
+				resp = kv.AppendVLong(resp, 0) // no node-combined groups
 				return resp, nil
 			},
 			"fetchFailed": func(params [][]byte) ([]byte, error) {

@@ -104,6 +104,20 @@ type Job struct {
 	// Combiner optionally pre-reduces map output locally. Use
 	// CombinerFromReducer for the common case.
 	Combiner core.CombineFunc
+	// ObservedCombiner, when set, builds a metrics-observing variant of
+	// Combiner bound to an engine's per-job registry (normally via
+	// CombinerFromReducerObserved). Engines that combine outside the MPI-D
+	// send path — the hadoop engine's node-level combine stage — prefer it
+	// over Combiner so combiner fallbacks surface as
+	// mapred.combiner.fallback in the job's /metrics.prom.
+	ObservedCombiner func(*metrics.Registry) core.CombineFunc
+	// NodeCombine lifts the combine stage from task scope to node scope.
+	// On the MPI-D engine every mapper rank shares one core.NodeArena (the
+	// in-process world is a single node), so duplicate keys fold across
+	// co-located mappers before shipping; on the hadoop engine the flag of
+	// the same name on hadoop.Config merges co-located map outputs behind
+	// the shuffle server. Requires the arena send buffer (not LegacySend).
+	NodeCombine bool
 	// Partitioner overrides MPI-D's hash-mod default.
 	Partitioner core.PartitionFunc
 	// NumReducers is the reducer count (default 1).
@@ -217,6 +231,13 @@ func Run(job Job, splits []Split, nMappers int) (*Result, error) {
 
 	result := &Result{ByReducer: make([][]kv.Pair, job.NumReducers), MapTasks: len(splits)}
 
+	// One shared arena for all mapper ranks: the in-process world is one
+	// node, so NodeCombine means every sender combines into the same buffer.
+	var nodeArena *core.NodeArena
+	if job.NodeCombine {
+		nodeArena = core.NewNodeArena()
+	}
+
 	err := mpi.Run(nRanks, func(c *mpi.Comm) error {
 		cfg := core.Config{
 			Comm:           c,
@@ -229,6 +250,7 @@ func Run(job Job, splits []Split, nMappers int) (*Result, error) {
 			Async:          job.Async,
 			LegacySend:     job.LegacySend,
 			LegacyGroup:    job.LegacyGroup,
+			NodeArena:      nodeArena,
 			Pool:           job.Pool,
 		}
 		d, err := core.Init(cfg)

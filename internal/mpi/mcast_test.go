@@ -1,0 +1,85 @@
+package mpi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMcastDeliversToEveryDestination(t *testing.T) {
+	payload := []byte("coded packet")
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Mcast([]int{1, 2, 3}, 9, payload)
+		}
+		data, st, err := c.Recv(0, 9)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(data, payload) {
+			t.Errorf("rank %d got %q", c.Rank(), data)
+		}
+		if st.Source != 0 || st.Tag != 9 {
+			t.Errorf("rank %d status %+v", c.Rank(), st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMcastPreservesPerDestinationOrder(t *testing.T) {
+	// Two multicasts to the same group: each destination must see them in
+	// send order (the transport's non-overtaking invariant).
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Mcast([]int{1, 2}, 5, []byte{1}); err != nil {
+				return err
+			}
+			return c.Mcast([]int{1, 2}, 5, []byte{2})
+		}
+		for want := byte(1); want <= 2; want++ {
+			data, _, err := c.Recv(0, 5)
+			if err != nil {
+				return err
+			}
+			if data[0] != want {
+				t.Errorf("rank %d: multicast %d arrived out of order: %d", c.Rank(), want, data[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMcastValidation(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		cases := []struct {
+			dests []int
+			tag   int
+			want  string
+		}{
+			{nil, 1, "at least one destination"},
+			{[]int{0}, 1, "is the sender"},
+			{[]int{1, 1}, 1, "listed twice"},
+			{[]int{7}, 1, "out of range"},
+			{[]int{1}, -1, "outside user tag range"},
+		}
+		for _, tc := range cases {
+			err := c.Mcast(tc.dests, tc.tag, nil)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Mcast(%v, %d) = %v, want error containing %q", tc.dests, tc.tag, err, tc.want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

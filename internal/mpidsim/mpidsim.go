@@ -54,6 +54,13 @@ type Params struct {
 	// (MPI_Isend adoption, §IV.A future work). The paper's prototype is
 	// synchronous; the ablation bench flips this.
 	Async bool
+	// CodedReplication models the coded-shuffle prototype (internal/coded)
+	// at cluster scale: every split is mapped by r nodes, so each mapper
+	// pays r× the input read and map CPU, and every coded multicast
+	// serves r destinations per transmission, so the bytes a mapper ships
+	// divide by r. The reducers merge the same logical intermediate data
+	// either way. 0 or 1 means plain (uncoded) shuffle.
+	CodedReplication int
 	// Pipelined overlaps the reducer's merge with the map phase: each
 	// mapper's share of the intermediate data is merged as that mapper
 	// completes, instead of waiting for every mapper before touching any
@@ -133,6 +140,10 @@ func Run(p Params) *Report {
 	if p.InputBytes <= 0 {
 		panic(fmt.Sprintf("mpidsim: InputBytes must be positive, got %d", p.InputBytes))
 	}
+	rep := int64(p.CodedReplication)
+	if rep < 1 {
+		rep = 1
+	}
 	eng := des.New()
 	cl := cluster.New(eng, p.Cluster)
 	workers := cl.Nodes[1:] // rank 0's node is the master, as in the paper
@@ -178,10 +189,16 @@ func Run(p Params) *Report {
 					chunk = remaining
 				}
 				remaining -= chunk
-				node.ReadStream(pr, chunk)
-				node.Compute(pr, chunk, p.MapCPUBytesPerSec)
-				out := int64(float64(chunk) * p.CombinedSelectivity)
-				stat.BytesRead += chunk
+				// Coded replication: the same input range is read and
+				// mapped on r nodes, so each mapper's share costs r× in
+				// read and CPU...
+				node.ReadStream(pr, chunk*rep)
+				node.Compute(pr, chunk*rep, p.MapCPUBytesPerSec)
+				// ...and buys an r× reduction in shipped bytes: each
+				// coded multicast crosses the sender's link once but
+				// serves r destinations.
+				out := int64(float64(chunk) * p.CombinedSelectivity / float64(rep))
+				stat.BytesRead += chunk * rep
 				stat.BytesSent += out
 				// Realigned partitions ship to each reducer; even split.
 				per := out / int64(p.NumReducers)

@@ -137,3 +137,34 @@ func TestPipelinedReducerNotSlower(t *testing.T) {
 		t.Fatalf("pipelined reducer slower: %v > %v", pipe, sync)
 	}
 }
+
+func TestCodedReplicationTradesComputeForBytes(t *testing.T) {
+	base := Run(WordCount(4 * netmodel.GB))
+	p := WordCount(4 * netmodel.GB)
+	p.CodedReplication = 2
+	coded := Run(p)
+	// Shipped bytes halve: each multicast serves r destinations.
+	if got, want := coded.BytesShuffle, base.BytesShuffle/2; got > want+int64(len(coded.Mappers)) {
+		t.Fatalf("r=2 shipped %d bytes, want ~%d (half of %d)", got, want, base.BytesShuffle)
+	}
+	if coded.BytesShuffle >= base.BytesShuffle {
+		t.Fatalf("r=2 did not reduce shipped bytes: %d >= %d", coded.BytesShuffle, base.BytesShuffle)
+	}
+	// Redundant compute is paid: every mapper reads its share twice.
+	var baseRead, codedRead int64
+	for _, m := range base.Mappers {
+		baseRead += m.BytesRead
+	}
+	for _, m := range coded.Mappers {
+		codedRead += m.BytesRead
+	}
+	if codedRead != 2*baseRead {
+		t.Fatalf("r=2 read %d bytes, want 2x %d", codedRead, baseRead)
+	}
+	// WordCount is map-CPU-bound on the paper's cluster, so doubling map
+	// work costs wall time even as the shuffle shrinks — the tradeoff the
+	// coded extension reports honestly.
+	if coded.JobTime <= 0 {
+		t.Fatal("non-positive job time")
+	}
+}

@@ -11,7 +11,18 @@ import (
 	"github.com/ict-repro/mpid/internal/core"
 	"github.com/ict-repro/mpid/internal/kv"
 	"github.com/ict-repro/mpid/internal/mapred"
+	"github.com/ict-repro/mpid/internal/metrics"
 )
+
+// observedCombiner builds the Job.ObservedCombiner hook for a derived
+// combiner: engines that combine outside the MPI-D send path (the hadoop
+// engine's node-level stage) bind it to their per-job registry so combiner
+// fallbacks are visible as mapred.combiner.fallback in /metrics.prom.
+func observedCombiner(r mapred.Reducer) func(*metrics.Registry) core.CombineFunc {
+	return func(reg *metrics.Registry) core.CombineFunc {
+		return mapred.CombinerFromReducerObserved(r, reg)
+	}
+}
 
 // This file is the workload suite: every benchmarkable job the repository
 // knows, as wire-parameterizable specs. The paper's evaluation — and every
@@ -130,11 +141,12 @@ func WordCount(params map[string]int64) (mapred.Job, []mapred.Split, error) {
 	})
 	reducer := sumReducer()
 	job := mapred.Job{
-		Name:        "wordcount",
-		Mapper:      mapper,
-		Reducer:     reducer,
-		Combiner:    mapred.CombinerFromReducer(reducer),
-		NumReducers: int(reducers),
+		Name:             "wordcount",
+		Mapper:           mapper,
+		Reducer:          reducer,
+		Combiner:         mapred.CombinerFromReducer(reducer),
+		ObservedCombiner: observedCombiner(reducer),
+		NumReducers:      int(reducers),
 	}
 	return job, splits, nil
 }
@@ -308,11 +320,12 @@ func InvertedIndex(params map[string]int64) (mapred.Job, []mapred.Split, error) 
 		return emit(key, []byte(strings.Join(postings, " ")))
 	})
 	job := mapred.Job{
-		Name:        "invindex",
-		Mapper:      mapper,
-		Reducer:     reducer,
-		Combiner:    mapred.CombinerFromReducer(reducer),
-		NumReducers: int(reducers),
+		Name:             "invindex",
+		Mapper:           mapper,
+		Reducer:          reducer,
+		Combiner:         mapred.CombinerFromReducer(reducer),
+		ObservedCombiner: observedCombiner(reducer),
+		NumReducers:      int(reducers),
 	}
 	return job, splits, nil
 }
@@ -355,11 +368,12 @@ func Grep(params map[string]int64) (mapred.Job, []mapred.Split, error) {
 	})
 	reducer := sumReducer()
 	job := mapred.Job{
-		Name:        "grep",
-		Mapper:      mapper,
-		Reducer:     reducer,
-		Combiner:    mapred.CombinerFromReducer(reducer),
-		NumReducers: int(reducers),
+		Name:             "grep",
+		Mapper:           mapper,
+		Reducer:          reducer,
+		Combiner:         mapred.CombinerFromReducer(reducer),
+		ObservedCombiner: observedCombiner(reducer),
+		NumReducers:      int(reducers),
 	}
 	return job, splits, nil
 }
