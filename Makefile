@@ -41,12 +41,13 @@ bench:
 	go run ./cmd/mpid-bench -suite serve -o BENCH_serve.json
 	go run ./cmd/mpid-bench -suite workloads -o BENCH_workloads.json
 	go run ./cmd/mpid-bench -suite shufflebytes -o BENCH_shufflebytes.json
+	go run ./cmd/mpid-bench -suite transport -o BENCH_transport.json
 
 # One iteration of every benchmark — a CI smoke test that the bench code
 # still compiles and runs, without the timing noise of a real bench run —
 # plus seconds-scale A/B runs producing the BENCH_shuffle.json,
-# BENCH_mpid.json, BENCH_serve.json, BENCH_workloads.json and
-# BENCH_shufflebytes.json CI artifacts.
+# BENCH_mpid.json, BENCH_serve.json, BENCH_workloads.json,
+# BENCH_shufflebytes.json and BENCH_transport.json CI artifacts.
 # Regression gate: re-run each suite's smoke config and compare the
 # scale-free headline ratios (speedups, fairness) against the committed
 # BENCH_*.json baselines within a wide tolerance. Non-fatal in CI — a
@@ -61,6 +62,7 @@ bench-smoke:
 	go run ./cmd/mpid-bench -suite serve -smoke -o BENCH_serve.json
 	go run ./cmd/mpid-bench -suite workloads -smoke -o BENCH_workloads.json
 	go run ./cmd/mpid-bench -suite shufflebytes -smoke -o BENCH_shufflebytes.json
+	go run ./cmd/mpid-bench -suite transport -smoke -o BENCH_transport.json
 
 # Documentation lint: every internal package must carry a package doc
 # comment, and every local markdown link in the top-level docs must

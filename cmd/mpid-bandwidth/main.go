@@ -4,7 +4,9 @@
 // future work (§VI(1)).
 //
 // By default it evaluates the calibrated cost models; with -live it
-// measures the real Go substrates on loopback.
+// measures the real Go substrates on loopback, and -transport selects
+// the live MPI transport (chan, ring, ring+copy, tcp, or the default
+// tcp+writev).
 package main
 
 import (
@@ -17,13 +19,14 @@ import (
 
 func main() {
 	live := flag.Bool("live", false, "measure the real Go substrates on loopback instead of the models")
+	transport := flag.String("transport", "tcp+writev", "live MPI transport: chan | ring | ring+copy | tcp | tcp+writev")
 	flag.Parse()
 
 	mode := experiments.Model
 	if *live {
 		mode = experiments.Live
 	}
-	rows, err := experiments.Figure3(mode)
+	rows, err := experiments.Figure3Transport(mode, *transport)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpid-bandwidth: %v\n", err)
 		os.Exit(1)

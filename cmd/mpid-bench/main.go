@@ -30,11 +30,19 @@
 //     its in-family baseline, and p50 times — written as
 //     BENCH_shufflebytes.json.
 //
+//   - suite "transport": the transport raw-speed sweep — the in-process
+//     chan baseline, the shared-memory-style ring, legacy-framed TCP and
+//     vectored (writev) TCP, each gated on byte-identical WordCount
+//     output first, then swept across message sizes for one-way latency
+//     percentiles, streaming bandwidth and allocations per round trip —
+//     written as BENCH_transport.json.
+//
 //     mpid-bench -o BENCH_shuffle.json                        full shuffle baseline
 //     mpid-bench -suite mpid -o BENCH_mpid.json               full MPI-D core baseline
 //     mpid-bench -suite serve -o BENCH_serve.json             full job-service soak
 //     mpid-bench -suite workloads -o BENCH_workloads.json     full workload suite
 //     mpid-bench -suite shufflebytes -o BENCH_shufflebytes.json  full shuffle-byte baseline
+//     mpid-bench -suite transport -o BENCH_transport.json     full transport sweep
 //     mpid-bench -suite workloads -smoke -o /tmp/bench.json   seconds-scale CI smoke run
 //     mpid-bench -check                                       regression gate vs committed baselines
 //
@@ -48,7 +56,8 @@
 // Flags override individual workload knobs (shuffle: -maps, -reducers,
 // -keys, -vocab, -copiers, -factor; mpid: -size, -reducers, -vocab;
 // serve: -tenants, -jobs, -slots, -queue, -size, -reducers; workloads:
-// -mappers, -rounds; shufflebytes: -mappers; common: -reps, -seed). Each suite validates output
+// -mappers, -rounds; shufflebytes: -mappers; transport: -reps, -seed;
+// common: -reps, -seed). Each suite validates output
 // equality before timing anything, prints its summary table to stdout,
 // and exits non-zero if the run fails.
 package main
@@ -63,7 +72,7 @@ import (
 )
 
 func main() {
-	suite := flag.String("suite", "shuffle", "benchmark suite: shuffle | mpid | serve | workloads | shufflebytes")
+	suite := flag.String("suite", "shuffle", "benchmark suite: shuffle | mpid | serve | workloads | shufflebytes | transport")
 	out := flag.String("o", "", "write the result JSON to this file (e.g. BENCH_shuffle.json)")
 	smoke := flag.Bool("smoke", false, "use the seconds-scale smoke configuration")
 	maps := flag.Int("maps", 0, "shuffle: map segments per reducer")
@@ -239,8 +248,27 @@ func main() {
 		fmt.Print(experiments.RenderShuffleBytesBench(res))
 		write(*out, func() ([]byte, error) { return experiments.MarshalShuffleBytesBench(res) })
 
+	case "transport":
+		cfg := experiments.DefaultTransportBench()
+		if *smoke {
+			cfg = experiments.SmokeTransportBench()
+		}
+		if *reps > 0 {
+			cfg.Reps = *reps
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		res, err := experiments.RunTransportBench(cfg)
+		if err != nil {
+			fail(err)
+		}
+		res.Timestamp = time.Now().UTC().Format(time.RFC3339)
+		fmt.Print(experiments.RenderTransportBench(res))
+		write(*out, func() ([]byte, error) { return experiments.MarshalTransportBench(res) })
+
 	default:
-		fail(fmt.Errorf("unknown suite %q (want shuffle, mpid, serve, workloads or shufflebytes)", *suite))
+		fail(fmt.Errorf("unknown suite %q (want shuffle, mpid, serve, workloads, shufflebytes or transport)", *suite))
 	}
 }
 

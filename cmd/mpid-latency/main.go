@@ -4,8 +4,9 @@
 //
 // By default it evaluates the calibrated cost models, reproducing the
 // paper's GigE-testbed numbers. With -live it measures the repository's
-// real Go substrates (internal/mpi over TCP, internal/hadooprpc) on
-// loopback instead.
+// real Go substrates (internal/mpi, internal/hadooprpc) on loopback
+// instead; -transport selects the live MPI transport (chan, ring,
+// ring+copy, tcp, or the default tcp+writev).
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 func main() {
 	rng := flag.String("range", "all", "size range: small, medium, large or all")
 	live := flag.Bool("live", false, "measure the real Go substrates on loopback instead of the models")
+	transport := flag.String("transport", "tcp+writev", "live MPI transport: chan | ring | ring+copy | tcp | tcp+writev")
 	flag.Parse()
 
 	mode := experiments.Model
@@ -40,7 +42,7 @@ func main() {
 		os.Exit(2)
 	}
 	for _, panel := range panels {
-		rows, err := experiments.Figure2(panel, mode)
+		rows, err := experiments.Figure2Transport(panel, mode, *transport)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mpid-latency: %v\n", err)
 			os.Exit(1)

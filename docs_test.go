@@ -122,26 +122,34 @@ func TestDocSections(t *testing.T) {
 			"## 11. Zero-allocation MPI-D fast path",
 			"## 12. The job service (mpid-serve)",
 			"## 13. Shuffle-byte reduction",
+			"## 14. Transport raw speed",
 			"NodeCombine", "NodeArena", "Mcast", "mapred.combiner.fallback",
+			"NewRingWorld", "CopyPayloads", "LegacyFraming", "PutFile",
 		},
 		"EXPERIMENTS.md": {
 			"## Extension — Workload suite",
 			"## Extension — Shuffle-byte reduction",
+			"## Extension — Transport raw speed",
 			"### BENCH_workloads.json schema",
 			"### BENCH_shufflebytes.json schema",
+			"### BENCH_transport.json schema",
 			"### Figure 6 (coded)",
 			"coded-r1", "mpid-nodearena", "hadoop-nodecombine",
+			"ring_vs_chan_small_p50", "max_allocs_per_op",
 		},
 		"ARCHITECTURE.md": {
 			"**`internal/coded`**",
 			"Config.NodeCombine", "Job.NodeCombine", "core.NodeArena",
 			"Mcast", "CodedReplication",
 			"shuffle-byte reduction (ext.)",
+			"transport raw speed (ext.)",
+			"NewRingWorld", "TCPOptions.LegacyFraming", "Store.PutFile",
 		},
 		"README.md": {
 			"BENCH_shuffle.json", "BENCH_mpid.json", "BENCH_serve.json",
 			"BENCH_workloads.json", "BENCH_shufflebytes.json",
-			"-suite shufflebytes",
+			"BENCH_transport.json",
+			"-suite shufflebytes", "-suite transport",
 		},
 	}
 	for doc, wants := range required {

@@ -27,6 +27,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Size-class bounds. Requests below minClassBytes share the smallest class
@@ -43,9 +44,16 @@ const (
 // passes. Methods are safe for concurrent use. The zero value is ready.
 type Pool struct {
 	classes [numClasses]sync.Pool
-	gets    atomic.Int64
-	hits    atomic.Int64
-	puts    atomic.Int64
+	// hdrs recycles the *[]byte boxes the class pools store. Without it
+	// every Put heap-allocates a fresh slice header to take the address of,
+	// which was the last per-message allocation on the transport fast
+	// paths (one Put per consumed frame). A header checked out of hdrs is
+	// owned exclusively until it is filed back, so the box cycle is
+	// race-free and steady-state Get/Put allocates nothing.
+	hdrs sync.Pool
+	gets atomic.Int64
+	hits atomic.Int64
+	puts atomic.Int64
 }
 
 // Stats is a snapshot of a pool's traffic: Gets counts Get calls, Hits the
@@ -84,7 +92,18 @@ func (p *Pool) Get(n int) []byte {
 		return make([]byte, n)
 	}
 	if v := p.classes[c].Get(); v != nil {
-		b := *(v.(*[]byte))
+		// Native buffers (capacity exactly the class size) are stored as a
+		// raw array pointer — pointer-shaped, so the interface carries it
+		// without boxing — and the slice is rebuilt here from the known
+		// class capacity. Foreign capacities ride in recycled *[]byte boxes.
+		if ptr, ok := v.(unsafe.Pointer); ok {
+			p.hits.Add(1)
+			return unsafe.Slice((*byte)(ptr), 1<<(minClassShift+c))[:n]
+		}
+		h := v.(*[]byte)
+		b := *h
+		*h = nil
+		p.hdrs.Put(h)
 		if cap(b) >= n {
 			p.hits.Add(1)
 			return b[:n]
@@ -109,8 +128,17 @@ func (p *Pool) Put(b []byte) {
 		c--
 	}
 	p.puts.Add(1)
-	b = b[:0]
-	p.classes[c].Put(&b)
+	if cap(b) == 1<<(minClassShift+c) {
+		// Native buffer: file the bare array pointer (see Get).
+		p.classes[c].Put(unsafe.Pointer(unsafe.SliceData(b[:1])))
+		return
+	}
+	h, _ := p.hdrs.Get().(*[]byte)
+	if h == nil {
+		h = new([]byte)
+	}
+	*h = b[:0]
+	p.classes[c].Put(h)
 }
 
 // Stats returns the pool's traffic counters.

@@ -26,14 +26,23 @@ func TestGetLengthAndReuse(t *testing.T) {
 	if cap(b) != 4<<10 {
 		t.Fatalf("Get(1000) cap = %d, want smallest class %d", cap(b), 4<<10)
 	}
-	p.Put(b)
-	b2 := p.Get(2000)
-	if len(b2) != 2000 {
-		t.Fatalf("Get(2000) = len %d", len(b2))
+	// Under the race detector sync.Pool intentionally drops a fraction of
+	// Puts, so a single Put→Get round is not guaranteed to hit. Cycle
+	// until one sticks; one round is all it takes in a normal build.
+	hit := false
+	for i := 0; i < 64 && !hit; i++ {
+		p.Put(b)
+		b2 := p.Get(2000)
+		if len(b2) != 2000 {
+			t.Fatalf("Get(2000) = len %d", len(b2))
+		}
+		before := p.Stats().Hits
+		b = b2
+		hit = before > 0
 	}
 	s := p.Stats()
-	if s.Gets != 2 || s.Hits != 1 || s.Puts != 1 {
-		t.Fatalf("stats = %+v, want 2 gets / 1 hit / 1 put", s)
+	if !hit || s.Puts == 0 || s.Gets < 2 {
+		t.Fatalf("stats = %+v, want at least one hit and one put", s)
 	}
 }
 
@@ -98,5 +107,22 @@ func TestConcurrentUse(t *testing.T) {
 	wg.Wait()
 	if s := p.Stats(); s.Gets != 4000 || s.Puts != 4000 {
 		t.Fatalf("stats = %+v, want 4000 gets/puts", s)
+	}
+}
+
+// TestGetPutCycleAllocFree pins the property the transport fast paths
+// depend on: once warm, recycling a buffer through the pool allocates
+// nothing — neither for the buffer nor for the *[]byte box the class
+// pools store (headers are recycled through an internal pool).
+func TestGetPutCycleAllocFree(t *testing.T) {
+	p := New()
+	for i := 0; i < 100; i++ {
+		p.Put(p.Get(1024))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Put(p.Get(1024))
+	})
+	if allocs > 0 {
+		t.Fatalf("warm Get/Put cycle allocates %.2f/op, want 0", allocs)
 	}
 }

@@ -53,7 +53,7 @@ type BenchCheckResult struct {
 }
 
 // benchSuites orders the gate's suites; each maps to BENCH_<suite>.json.
-var benchSuites = []string{"shuffle", "mpid", "serve", "workloads", "shufflebytes"}
+var benchSuites = []string{"shuffle", "mpid", "serve", "workloads", "shufflebytes", "transport"}
 
 // shuffleBytesBaselines are the shufflebytes modes whose bytes_ratio is
 // 1.0 by construction; the gate compares only the reduction modes.
@@ -243,6 +243,21 @@ func extractBenchMetrics(suite string, data []byte) ([]benchMetric, error) {
 			out = append(out, benchMetric{name: wl + "." + mode + ".bytes_ratio", value: 1.0, lowerBetter: true, absolute: true})
 		}
 		return out, nil
+	case "transport":
+		for _, key := range []string{"ring_vs_chan_small_p50", "max_allocs_per_op"} {
+			if _, err := num(doc, key); err != nil {
+				return nil, err
+			}
+		}
+		// Both headline metrics are absolute invariants, independent of
+		// the committed magnitudes: the ring transport must still beat
+		// the chan transport's small-message p50 (ratio below 1.0), and
+		// the steady-state send→recv path must still be allocation-free
+		// on every transport at every size.
+		return []benchMetric{
+			{name: "ring_vs_chan_small_p50", value: 1.0, lowerBetter: true, absolute: true},
+			{name: "max_allocs_per_op", value: 0.0, lowerBetter: true, absolute: true},
+		}, nil
 	}
 	return nil, fmt.Errorf("unknown suite %q", suite)
 }
@@ -295,6 +310,15 @@ func runBenchSmoke(suite string) (map[string]float64, error) {
 			out[row.Workload+"."+row.Mode+".bytes_ratio"] = row.BytesRatio
 		}
 		return out, nil
+	case "transport":
+		r, err := RunTransportBench(SmokeTransportBench())
+		if err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"ring_vs_chan_small_p50": r.RingVsChanSmallP50,
+			"max_allocs_per_op":      r.MaxAllocsPerOp,
+		}, nil
 	}
 	return nil, fmt.Errorf("unknown suite %q", suite)
 }

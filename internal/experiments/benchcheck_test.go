@@ -30,6 +30,7 @@ func TestLoadBenchBaselines(t *testing.T) {
 		{"workload": "wordcount", "mode": "coded-r1", "bytes_ratio": 1.0},
 		{"workload": "wordcount", "mode": "coded-r2", "bytes_ratio": 0.84}
 	]}`)
+	writeBench(t, dir, "transport", `{"ring_vs_chan_small_p50": 0.95, "max_allocs_per_op": 0}`)
 
 	base, skipped, err := loadBenchBaselines(dir)
 	if err != nil {
@@ -73,6 +74,17 @@ func TestLoadBenchBaselines(t *testing.T) {
 			t.Fatalf("shufflebytes metric = %+v, want absolute lower-better 1.0", m)
 		}
 	}
+	// Transport gates are absolute invariants regardless of the committed
+	// magnitudes: ring still below chan (1.0), allocs still zero.
+	wantTransport := map[string]float64{"ring_vs_chan_small_p50": 1.0, "max_allocs_per_op": 0.0}
+	if got := len(base["transport"]); got != len(wantTransport) {
+		t.Fatalf("transport metrics = %d, want %d", got, len(wantTransport))
+	}
+	for _, m := range base["transport"] {
+		if want, ok := wantTransport[m.name]; !ok || !m.lowerBetter || !m.absolute || m.value != want {
+			t.Fatalf("transport metric = %+v, want absolute lower-better %v", m, wantTransport)
+		}
+	}
 }
 
 func TestLoadBenchBaselinesMissingFilesSkipped(t *testing.T) {
@@ -85,7 +97,7 @@ func TestLoadBenchBaselinesMissingFilesSkipped(t *testing.T) {
 	if len(base) != 1 || len(base["shuffle"]) != 1 {
 		t.Fatalf("base = %v, want only shuffle", base)
 	}
-	want := map[string]bool{"mpid": true, "serve": true, "workloads": true, "shufflebytes": true}
+	want := map[string]bool{"mpid": true, "serve": true, "workloads": true, "shufflebytes": true, "transport": true}
 	if len(skipped) != len(want) {
 		t.Fatalf("skipped = %v, want %v", skipped, want)
 	}
@@ -181,7 +193,9 @@ func TestCommittedBaselinesParse(t *testing.T) {
 			t.Errorf("suite %s: baseline present but no metrics extracted", suite)
 		}
 		for _, m := range metrics {
-			if m.value <= 0 {
+			// Absolute invariants pin their own threshold (0 is a valid
+			// one — "never allocates"); parsed magnitudes must be positive.
+			if m.value <= 0 && !m.absolute {
 				t.Errorf("suite %s metric %s: non-positive baseline %v", suite, m.name, m.value)
 			}
 		}

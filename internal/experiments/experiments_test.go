@@ -224,7 +224,7 @@ func TestFigure3LiveRPCCollapse(t *testing.T) {
 	if testing.Short() || raceEnabled {
 		t.Skip("live timing assertion; skipped in -short and race builds")
 	}
-	bench, err := newLiveBandwidthBench()
+	bench, err := newLiveBandwidthBench("")
 	if err != nil {
 		t.Fatal(err)
 	}

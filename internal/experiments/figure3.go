@@ -35,6 +35,13 @@ func Figure3PacketSizes() []int64 {
 // transfer is scaled down for small packets so the experiment finishes in
 // reasonable wall time; bandwidth is a rate, so the series is comparable.
 func Figure3(mode Mode) ([]Figure3Row, error) {
+	return Figure3Transport(mode, "")
+}
+
+// Figure3Transport is Figure3 with the live MPI series measured over the
+// named transport (see NewTransportWorld; "" means the default vectored
+// TCP). Model mode ignores the transport.
+func Figure3Transport(mode Mode, transport string) ([]Figure3Row, error) {
 	sizes := Figure3PacketSizes()
 	rows := make([]Figure3Row, 0, len(sizes))
 	switch mode {
@@ -50,7 +57,7 @@ func Figure3(mode Mode) ([]Figure3Row, error) {
 			})
 		}
 	case Live:
-		bench, err := newLiveBandwidthBench()
+		bench, err := newLiveBandwidthBench(transport)
 		if err != nil {
 			return nil, err
 		}

@@ -45,10 +45,15 @@ type liveLatencyBench struct {
 	echoErr chan error
 }
 
-// newLiveLatencyBench stands up a 2-rank TCP MPI world with an echo loop on
-// rank 1, and a Hadoop RPC echo server with a connected client.
-func newLiveLatencyBench() (*liveLatencyBench, error) {
-	w, err := mpi.NewTCPWorld(2)
+// newLiveLatencyBench stands up a 2-rank MPI world over the named
+// transport (see NewTransportWorld; "" means the default vectored TCP)
+// with an echo loop on rank 1, and a Hadoop RPC echo server with a
+// connected client.
+func newLiveLatencyBench(transport string) (*liveLatencyBench, error) {
+	if transport == "" {
+		transport = "tcp+writev"
+	}
+	w, err := NewTransportWorld(transport, 2)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +183,10 @@ type liveBandwidthBench struct {
 	sinkErr chan error
 }
 
-func newLiveBandwidthBench() (*liveBandwidthBench, error) {
+func newLiveBandwidthBench(transport string) (*liveBandwidthBench, error) {
+	if transport == "" {
+		transport = "tcp+writev"
+	}
 	b := &liveBandwidthBench{sinkErr: make(chan error, 4)}
 	ok := false
 	defer func() {
@@ -188,7 +196,7 @@ func newLiveBandwidthBench() (*liveBandwidthBench, error) {
 	}()
 
 	// MPI: rank 1 sinks data packets (tag 0) and acks batch ends (tag 2).
-	w, err := mpi.NewTCPWorld(2)
+	w, err := NewTransportWorld(transport, 2)
 	if err != nil {
 		return nil, err
 	}

@@ -12,12 +12,14 @@
 package jetty
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"time"
@@ -91,15 +93,27 @@ type OutputKey struct {
 }
 
 // Store holds map outputs a server can serve. It is safe for concurrent
-// use: mappers put while reducers fetch.
+// use: mappers put while reducers fetch. A segment is either an in-memory
+// byte slice (Put) or a reference to a spill file on disk (PutFile); the
+// server serves both through the same servlet, using sendfile for the
+// file-backed ones.
 type Store struct {
-	mu   sync.RWMutex
-	data map[OutputKey][]byte
+	mu    sync.RWMutex
+	data  map[OutputKey][]byte
+	files map[OutputKey]fileSegment
+}
+
+// fileSegment is a disk-resident map output: the spill file path and the
+// segment's byte length (validated at PutFile time so serves can set
+// Content-Length without a stat).
+type fileSegment struct {
+	path string
+	size int64
 }
 
 // NewStore creates an empty store.
 func NewStore() *Store {
-	return &Store{data: make(map[OutputKey][]byte)}
+	return &Store{data: make(map[OutputKey][]byte), files: make(map[OutputKey]fileSegment)}
 }
 
 // Put registers the output of one (job, map) for one reduce. The store
@@ -110,7 +124,24 @@ func (s *Store) Put(key OutputKey, data []byte) {
 	s.data[key] = data
 }
 
-// Get returns the stored output and whether it exists.
+// PutFile registers a disk-resident output: the segment lives in the spill
+// file at path and is served straight off disk (sendfile on the
+// uncompressed path). The file is stat'd once here so its size is known;
+// the caller must keep it intact until Delete.
+func (s *Store) PutFile(key OutputKey, path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("jetty: put file segment: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[key] = fileSegment{path: path, size: fi.Size()}
+	return nil
+}
+
+// Get returns the stored in-memory output and whether it exists. File-backed
+// segments are not materialized here; they are served directly by the
+// server (see GetFile).
 func (s *Store) Get(key OutputKey) ([]byte, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -118,18 +149,28 @@ func (s *Store) Get(key OutputKey) ([]byte, bool) {
 	return d, ok
 }
 
-// Delete removes an output (job cleanup).
+// GetFile returns the path and size of a file-backed output.
+func (s *Store) GetFile(key OutputKey) (string, int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.files[key]
+	return f.path, f.size, ok
+}
+
+// Delete removes an output (job cleanup). For file-backed segments only the
+// reference is dropped; the spill file itself belongs to the caller.
 func (s *Store) Delete(key OutputKey) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.data, key)
+	delete(s.files, key)
 }
 
 // Len returns the number of stored outputs.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.data)
+	return len(s.data) + len(s.files)
 }
 
 // Server is the embedded HTTP server a tasktracker would run.
@@ -156,6 +197,13 @@ type Server struct {
 	// HeaderAcceptCompressed, trading serve CPU for shuffle wire bytes.
 	// Set before Listen.
 	Compress bool
+	// ZeroCopy (default on) serves uncompressed map outputs through
+	// io.Copy over the ResponseWriter's io.ReaderFrom: file-backed
+	// segments go out via sendfile without touching user space, and
+	// in-memory ones in a single buffered pass instead of the servlet's
+	// WriteChunk copy loop. Clear it to emulate the chunked servlet copy
+	// (the DEFLATE-negotiated path always uses the chunk loop).
+	ZeroCopy bool
 
 	pool    *shuffle.BufferPool // recycles compression buffers across serves
 	httpSrv *http.Server
@@ -167,7 +215,7 @@ type Server struct {
 
 // NewServer creates a server over the given store.
 func NewServer(store *Store) *Server {
-	return &Server{store: store, WriteChunk: 64 * 1024, pool: shuffle.NewBufferPool()}
+	return &Server{store: store, WriteChunk: 64 * 1024, ZeroCopy: true, pool: shuffle.NewBufferPool()}
 }
 
 // Listen binds to addr and starts serving; it returns the bound address.
@@ -234,17 +282,50 @@ func (s *Server) handleMapOutput(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "jetty: injected fault: "+err.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	data, ok := s.store.Get(OutputKey{Job: job, Map: mapID, Reduce: reduceID})
+	key := OutputKey{Job: job, Map: mapID, Reduce: reduceID}
+	data, ok := s.store.Get(key)
+	var fpath string
+	var fsize int64
+	if !ok {
+		fpath, fsize, ok = s.store.GetFile(key)
+	}
 	if !ok {
 		span.Annotate("error", "gone")
 		http.Error(w, "jetty: no such map output", http.StatusGone)
 		return
 	}
+	compress := s.Compress && r.Header.Get(HeaderAcceptCompressed) != ""
+	if fpath != "" {
+		// File-backed segment. The uncompressed serve goes through
+		// sendfile below; compression needs the bytes in user space, so
+		// only then is the spill file read into a pooled buffer.
+		if !compress {
+			s.serveFile(w, span, fpath, fsize, reduceID)
+			return
+		}
+		f, err := os.Open(fpath)
+		if err != nil {
+			span.Annotate("error", err.Error())
+			http.Error(w, "jetty: map output unreadable", http.StatusGone)
+			return
+		}
+		buf := s.pool.Get(int(fsize))
+		_, rerr := io.ReadFull(f, buf)
+		f.Close()
+		if rerr != nil {
+			s.pool.Put(buf)
+			span.Annotate("error", rerr.Error())
+			http.Error(w, "jetty: map output unreadable", http.StatusGone)
+			return
+		}
+		defer s.pool.Put(buf)
+		data = buf
+	}
 	span.Annotate("bytes", strconv.Itoa(len(data)))
 	w.Header().Set(HeaderMapOutputLength, strconv.Itoa(len(data)))
 	w.Header().Set(HeaderForReduce, strconv.Itoa(reduceID))
 	body := data
-	if s.Compress && r.Header.Get(HeaderAcceptCompressed) != "" {
+	if compress {
 		comp := shuffle.Compress(s.pool.Get(len(data))[:0], data)
 		w.Header().Set(HeaderCompressed, "1")
 		span.Annotate("wire_bytes", strconv.Itoa(len(comp)))
@@ -255,7 +336,42 @@ func (s *Server) handleMapOutput(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	s.Metrics.Counter("shuffle.serves").Inc()
 	s.Metrics.Counter("shuffle.serve_bytes").Add(int64(len(body)))
+	if s.ZeroCopy && !compress {
+		// net/http's ResponseWriter implements io.ReaderFrom; with
+		// Content-Length set the body bypasses chunked encoding, so
+		// io.Copy moves the segment in one buffered pass instead of the
+		// WriteChunk servlet loop.
+		n, _ := io.Copy(w, bytes.NewReader(body))
+		s.Metrics.Counter("shuffle.serves_zerocopy").Inc()
+		s.Metrics.Counter("shuffle.zerocopy_bytes").Add(n)
+		return
+	}
 	s.writeChunked(w, body)
+}
+
+// serveFile streams an uncompressed file-backed segment. io.Copy finds the
+// ResponseWriter's io.ReaderFrom and the *os.File source, which on Linux
+// collapses into sendfile(2): the segment moves disk→socket without ever
+// entering user space — the Jetty NIO transferTo serving Hadoop uses when
+// shuffle outputs spill to disk.
+func (s *Server) serveFile(w http.ResponseWriter, span *trace.Span, path string, size int64, reduceID int) {
+	f, err := os.Open(path)
+	if err != nil {
+		span.Annotate("error", err.Error())
+		http.Error(w, "jetty: map output unreadable", http.StatusGone)
+		return
+	}
+	defer f.Close()
+	span.Annotate("bytes", strconv.FormatInt(size, 10))
+	span.Annotate("sendfile", "1")
+	w.Header().Set(HeaderMapOutputLength, strconv.FormatInt(size, 10))
+	w.Header().Set(HeaderForReduce, strconv.Itoa(reduceID))
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	s.Metrics.Counter("shuffle.serves").Inc()
+	s.Metrics.Counter("shuffle.serve_bytes").Add(size)
+	n, _ := io.Copy(w, io.LimitReader(f, size))
+	s.Metrics.Counter("shuffle.serves_zerocopy").Inc()
+	s.Metrics.Counter("shuffle.sendfile_bytes").Add(n)
 }
 
 // handlePing answers liveness probes: a tiny 200 that proves the tracker's
@@ -479,7 +595,14 @@ func (c *Client) Ping(ctx context.Context, addr string) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	io.Copy(io.Discard, resp.Body)
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		// A torn body means the connection is poisoned mid-response.
+		// Closing the body without a completed drain makes the transport
+		// drop the connection instead of returning it to the idle pool,
+		// where it would fail the next probe too.
+		resp.Body.Close()
+		return 0, err
+	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return 0, &statusError{code: resp.StatusCode, status: resp.Status}

@@ -209,6 +209,17 @@ const (
 // nMappers mapper ranks and job.NumReducers reducer ranks, scheduling
 // splits dynamically, and returns the collected output.
 func Run(job Job, splits []Split, nMappers int) (*Result, error) {
+	return RunOnWorld(job, splits, nMappers, func(n int) (*mpi.World, error) {
+		return mpi.NewWorld(n), nil
+	})
+}
+
+// RunOnWorld is Run over a caller-chosen transport: newWorld receives the
+// rank count the job needs (1 master + NumReducers + nMappers) and returns
+// the world to execute on. The world is closed when the job finishes. The
+// transport equivalence suite uses this to run the identical job over the
+// chan, ring and TCP transports and compare outputs byte for byte.
+func RunOnWorld(job Job, splits []Split, nMappers int, newWorld func(n int) (*mpi.World, error)) (*Result, error) {
 	if job.Mapper == nil || job.Reducer == nil {
 		return nil, errors.New("mapred: job needs Mapper and Reducer")
 	}
@@ -238,7 +249,12 @@ func Run(job Job, splits []Split, nMappers int) (*Result, error) {
 		nodeArena = core.NewNodeArena()
 	}
 
-	err := mpi.Run(nRanks, func(c *mpi.Comm) error {
+	w, err := newWorld(nRanks)
+	if err != nil {
+		return nil, fmt.Errorf("mapred: job %q: world: %w", job.Name, err)
+	}
+	defer w.Close()
+	err = mpi.RunOn(w, func(c *mpi.Comm) error {
 		cfg := core.Config{
 			Comm:           c,
 			Reducers:       reducers,

@@ -5,6 +5,121 @@ import (
 	"testing"
 )
 
+// benchPingPong drives a 2-rank ping-pong of size-byte messages over w and
+// reports ns/op and allocs/op for the full send→recv path. Received
+// buffers are returned to the transport's receive pool when it has one
+// (TCP, ring copy mode), matching what MPI-D's merge receiver does — the
+// 0 allocs/op target only holds when consumers recycle.
+func benchPingPong(b *testing.B, w *World, size int) {
+	payload := make([]byte, size)
+	done := make(chan error, 1)
+	go func() {
+		c := w.Comm(1)
+		pool := c.RecvBufferPool()
+		echo := make([]byte, size)
+		for {
+			data, _, err := c.Recv(0, AnyTag)
+			if err != nil {
+				done <- nil // world closed: benchmark over
+				return
+			}
+			stop := data[0] == 1
+			pool.Put(data)
+			if stop {
+				done <- nil
+				return
+			}
+			if err := c.Send(0, 0, echo); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	c := w.Comm(0)
+	pool := c.RecvBufferPool()
+	b.ReportAllocs()
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(1, 0, payload); err != nil {
+			b.Fatal(err)
+		}
+		data, _, err := c.Recv(1, AnyTag)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(data)
+	}
+	b.StopTimer()
+	stop := make([]byte, size)
+	stop[0] = 1
+	if err := c.Send(1, 0, stop); err != nil {
+		b.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRingRoundtrip ping-pongs over the shared-memory-style ring
+// transport in both payload modes: the default zero-copy hand-off and the
+// CopyPayloads device emulation (inline slot copy for eager sizes, pooled
+// arena for rendezvous sizes). Both must stay at 0 allocs/op.
+func BenchmarkRingRoundtrip(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		cfg  RingConfig
+	}{
+		{"zerocopy", RingConfig{}},
+		{"copy", RingConfig{CopyPayloads: true}},
+	} {
+		for _, size := range []int{16, 1 << 10, 32 << 10} {
+			b.Run(fmt.Sprintf("%s/%dB", mode.name, size), func(b *testing.B) {
+				w := NewRingWorldConfig(2, mode.cfg)
+				defer w.Close()
+				benchPingPong(b, w, size)
+			})
+		}
+	}
+}
+
+// BenchmarkChanRoundtrip is the in-process chan-transport baseline the
+// ring is gated against (bench-check: ring p50 ≤ chan p50 at small sizes).
+func BenchmarkChanRoundtrip(b *testing.B) {
+	for _, size := range []int{16, 1 << 10, 32 << 10} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			w := NewWorld(2)
+			defer w.Close()
+			benchPingPong(b, w, size)
+		})
+	}
+}
+
+// BenchmarkTCPVectoredSend compares the vectored (writev) TCP framing
+// against the legacy bufio copy-then-flush path at an eager and a
+// rendezvous size. Rendezvous is where writev pays most visibly: header
+// and payload leave in one syscall instead of a flush plus a write.
+func BenchmarkTCPVectoredSend(b *testing.B) {
+	for _, framing := range []struct {
+		name   string
+		legacy bool
+	}{
+		{"vectored", false},
+		{"legacy", true},
+	} {
+		for _, size := range []int{1 << 10, 256 << 10} {
+			b.Run(fmt.Sprintf("%s/%dKB", framing.name, size>>10), func(b *testing.B) {
+				w, err := NewTCPWorldOptions(2, TCPOptions{LegacyFraming: framing.legacy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer w.Close()
+				benchPingPong(b, w, size)
+			})
+		}
+	}
+}
+
 // BenchmarkTCPRoundtrip ping-pongs one message over the loopback TCP
 // transport, crossing the eager/rendezvous threshold as the size sweeps.
 // allocs/op is the number to watch: pooled frame reads mean the receive

@@ -12,6 +12,7 @@ import (
 
 	"github.com/ict-repro/mpid/internal/bufpool"
 	"github.com/ict-repro/mpid/internal/faults"
+	"github.com/ict-repro/mpid/internal/metrics"
 )
 
 // NewTCPWorld creates a world of n ranks whose messages travel over real TCP
@@ -19,18 +20,48 @@ import (
 // process (Go cannot fork MPI-style), but every byte crosses the kernel
 // socket path, which is what the latency/bandwidth harness measures.
 func NewTCPWorld(n int) (*World, error) {
-	return NewTCPWorldWithFaults(n, nil)
+	return NewTCPWorldOptions(n, TCPOptions{})
 }
 
 // rankComponent is how TCP world ranks are named to a fault injector.
 func rankComponent(rank int) string { return fmt.Sprintf("mpi.rank%d", rank) }
 
+// rankComponents precomputes every rank's component name; formatting them
+// per send was the transport's last steady-state allocation.
+func rankComponents(n int) []string {
+	comps := make([]string, n)
+	for i := range comps {
+		comps[i] = rankComponent(i)
+	}
+	return comps
+}
+
+// TCPOptions configures a TCP world beyond the defaults.
+type TCPOptions struct {
+	// Injector, when set, gates the transport: "dial" and "send" on the
+	// sending rank (peer = destination component), plus "read"/"write"
+	// through the wrapped per-pair connections.
+	Injector *faults.Injector
+	// LegacyFraming selects the pre-writev framing path: eager frames
+	// copy into a per-connection bufio.Writer and rendezvous payloads
+	// take a separate syscall after the header flush. It is kept as the
+	// equivalence-tested A/B baseline for the vectored framing
+	// (BENCH_transport.json's "tcp" rows; default framing is "tcp+writev").
+	LegacyFraming bool
+	// Metrics, when set, counts framing traffic: mpi.tcp.vectored_writes
+	// (writev flushes) and mpi.tcp.vectored_frames (frames they carried).
+	Metrics *metrics.Registry
+}
+
 // NewTCPWorldWithFaults creates a TCP world whose transport consults a fault
-// injector. Rank r is the component "mpi.rank<r>"; injection points are
-// "dial" and "send" on the sending rank (peer = destination component), plus
-// "read"/"write" through the wrapped per-pair connections. A nil injector
-// yields a plain TCP world.
+// injector; see TCPOptions.Injector for the injection points. A nil
+// injector yields a plain TCP world.
 func NewTCPWorldWithFaults(n int, inj *faults.Injector) (*World, error) {
+	return NewTCPWorldOptions(n, TCPOptions{Injector: inj})
+}
+
+// NewTCPWorldOptions creates a TCP world with explicit options.
+func NewTCPWorldOptions(n int, opts TCPOptions) (*World, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("mpi: world size must be positive, got %d", n)
 	}
@@ -43,9 +74,14 @@ func NewTCPWorldWithFaults(n int, inj *faults.Injector) (*World, error) {
 		addrs:     make([]string, n),
 		listeners: make([]net.Listener, n),
 		conns:     make(map[connKey]*tcpConn),
-		inj:       inj,
+		inj:       opts.Injector,
+		legacy:    opts.LegacyFraming,
+		metrics:   opts.Metrics,
+		comps:     rankComponents(n),
 		pool:      bufpool.New(),
 	}
+	tr.cVecWrites = opts.Metrics.Counter("mpi.tcp.vectored_writes")
+	tr.cVecFrames = opts.Metrics.Counter("mpi.tcp.vectored_frames")
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -68,11 +104,24 @@ type connKey struct{ src, dst int }
 // out flushes, so back-to-back small sends (an Async spill's Isends, the
 // Done fan-out at CloseSend) coalesce into one syscall instead of one
 // flush per frame.
+//
+// In the default vectored framing mode, queued eager frames accumulate as
+// pooled contiguous header+payload buffers in pend, and a flush ships the
+// whole batch through net.Buffers — one writev syscall, no intermediate
+// bufio copy. A rendezvous send joins the same writev: pending eager
+// frames, its header (the persistent rhdr scratch) and the caller's
+// payload go out as one vector, where the legacy path paid a flush plus a
+// separate payload write. In legacy mode w is the bufio.Writer and
+// pend/vec stay nil.
 type tcpConn struct {
-	mu      sync.Mutex
-	c       net.Conn
-	w       *bufio.Writer
-	waiters atomic.Int32
+	mu        sync.Mutex
+	c         net.Conn
+	w         *bufio.Writer // legacy framing only
+	pend      net.Buffers   // queued eager frames (pooled hdr+payload buffers)
+	pendBytes int
+	vec       net.Buffers // writev scratch, rebuilt per flush, capacity reused
+	rhdr      [frameHeaderSize]byte
+	waiters   atomic.Int32
 }
 
 // tcpTransport maintains a lazy full mesh of connections. One connection per
@@ -84,6 +133,12 @@ type tcpTransport struct {
 	listeners []net.Listener
 	inj       *faults.Injector // nil injects nothing
 	pool      *bufpool.Pool    // frame payload buffers, shared with receivers
+	comps     []string         // precomputed "mpi.rank<r>" injector names
+	legacy    bool             // bufio copy-then-flush framing instead of writev
+	metrics   *metrics.Registry
+	// Pre-resolved counters: Registry.Counter is a lock+map lookup, too
+	// heavy per flush. Both are nil-safe without a registry.
+	cVecWrites, cVecFrames *metrics.Counter
 
 	mu     sync.Mutex
 	conns  map[connKey]*tcpConn
@@ -101,6 +156,12 @@ const frameHeaderSize = 20
 // buffer into the socket, skipping the intermediate bufio copy — the moral
 // equivalent of MPI's rendezvous protocol for large realigned partitions.
 const eagerThreshold = 64 << 10
+
+// tcpFlushBytes caps how many eager bytes queue on a connection before a
+// sender flushes even with other senders still waiting, bounding the
+// batch the last-writer-out heuristic can accumulate. It matches the
+// legacy bufio.Writer's capacity, which auto-flushed at the same point.
+const tcpFlushBytes = 256 << 10
 
 func (t *tcpTransport) acceptLoop(rank int, ln net.Listener) {
 	defer t.wg.Done()
@@ -150,7 +211,7 @@ func (t *tcpTransport) connFor(src, dst int) (*tcpConn, error) {
 	if c, ok := t.conns[key]; ok {
 		return c, nil
 	}
-	if err := t.inj.Check(rankComponent(src), "dial", rankComponent(dst)); err != nil {
+	if err := t.inj.Check(t.comps[src], "dial", t.comps[dst]); err != nil {
 		return nil, err
 	}
 	conn, err := net.Dial("tcp", t.addrs[dst])
@@ -160,8 +221,11 @@ func (t *tcpTransport) connFor(src, dst int) (*tcpConn, error) {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true) // latency benchmark sends tiny frames
 	}
-	wrapped := faults.WrapConn(conn, t.inj, rankComponent(src), rankComponent(dst))
-	c := &tcpConn{c: wrapped, w: bufio.NewWriterSize(wrapped, 256*1024)}
+	wrapped := faults.WrapConn(conn, t.inj, t.comps[src], t.comps[dst])
+	c := &tcpConn{c: wrapped}
+	if t.legacy {
+		c.w = bufio.NewWriterSize(wrapped, tcpFlushBytes)
+	}
 	t.conns[key] = c
 	return c, nil
 }
@@ -177,6 +241,14 @@ func (t *tcpTransport) dropConn(src, dst int, c *tcpConn) {
 	c.c.Close()
 }
 
+// putFrameHeader encodes m's envelope into b[:frameHeaderSize].
+func putFrameHeader(b []byte, m Message) {
+	binary.BigEndian.PutUint32(b[0:4], uint32(int32(m.Source)))
+	binary.BigEndian.PutUint32(b[4:8], uint32(int32(m.Tag)))
+	binary.BigEndian.PutUint64(b[8:16], uint64(m.Comm))
+	binary.BigEndian.PutUint32(b[16:20], uint32(len(m.Data)))
+}
+
 func (t *tcpTransport) send(to int, m Message) error {
 	if m.Tag > (1<<31-1) || m.Tag < -(1<<31) {
 		return fmt.Errorf("mpi: tag %d does not fit the TCP frame", m.Tag)
@@ -184,21 +256,101 @@ func (t *tcpTransport) send(to int, m Message) error {
 	if int64(len(m.Data)) > (1<<32 - 1) {
 		return errors.New("mpi: message over 4 GiB cannot be framed")
 	}
-	if err := t.inj.Check(rankComponent(m.Source), "send", rankComponent(to)); err != nil {
-		return err
+	if t.inj != nil {
+		if err := t.inj.Check(t.comps[m.Source], "send", t.comps[to]); err != nil {
+			return err
+		}
 	}
 	c, err := t.connFor(m.Source, to)
 	if err != nil {
 		return err
 	}
-	var hdr [frameHeaderSize]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(int32(m.Source)))
-	binary.BigEndian.PutUint32(hdr[4:8], uint32(int32(m.Tag)))
-	binary.BigEndian.PutUint64(hdr[8:16], uint64(m.Comm))
-	binary.BigEndian.PutUint32(hdr[16:20], uint32(len(m.Data)))
+	if t.legacy {
+		err = t.sendLegacy(c, m)
+	} else {
+		err = t.sendVectored(c, m)
+	}
+	if err != nil {
+		// The frame may be half-written; the connection cannot carry
+		// another message. Forget it so a retry redials.
+		t.dropConn(m.Source, to, c)
+	}
+	return err
+}
+
+// sendVectored frames m through writev. Eager frames queue as pooled
+// contiguous hdr+payload buffers and the last writer out (or a batch
+// crossing tcpFlushBytes) ships them all in one vectored write; a
+// rendezvous send joins the pending batch, its header and the caller's
+// payload into a single writev — one syscall, zero intermediate copies of
+// the large payload.
+func (t *tcpTransport) sendVectored(c *tcpConn, m Message) error {
+	n := len(m.Data)
 	c.waiters.Add(1)
 	c.mu.Lock()
-	_, err = c.w.Write(hdr[:])
+	var err error
+	if n >= eagerThreshold {
+		putFrameHeader(c.rhdr[:], m)
+		c.vec = append(append(c.vec[:0], c.pend...), c.rhdr[:], m.Data)
+		err = t.flushVecLocked(c, len(c.pend)+1)
+		c.waiters.Add(-1)
+	} else {
+		buf := t.pool.Get(frameHeaderSize + n)
+		putFrameHeader(buf, m)
+		copy(buf[frameHeaderSize:], m.Data)
+		c.pend = append(c.pend, buf)
+		c.pendBytes += len(buf)
+		// Last writer out flushes (see tcpConn); a sender that leaves
+		// others queued on c.mu skips it — one of them will carry this
+		// frame out, or fail and drop the connection for everyone.
+		if last := c.waiters.Add(-1) == 0; last || c.pendBytes >= tcpFlushBytes {
+			c.vec = append(c.vec[:0], c.pend...)
+			err = t.flushVecLocked(c, len(c.pend))
+		}
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// flushVecLocked ships c.vec in one vectored write (writev on an unwrapped
+// *net.TCPConn; a fault-wrapped connection degrades to one Write per
+// buffer, keeping every injection point) and recycles the pooled eager
+// frame buffers. Caller holds c.mu and has built c.vec from c.pend plus
+// any rendezvous tail.
+func (t *tcpTransport) flushVecLocked(c *tcpConn, frames int) error {
+	if len(c.vec) == 0 {
+		return nil
+	}
+	// WriteTo consumes the Buffers it is invoked on (nils entries,
+	// advances the header). Calling through the persistent c.vec field
+	// keeps the receiver heap-resident (a local Buffers variable would
+	// escape and cost an allocation per flush); base preserves the
+	// pre-advance header so the backing array is reused next flush.
+	base := c.vec
+	_, err := c.vec.WriteTo(c.c)
+	for _, b := range c.pend {
+		t.pool.Put(b)
+	}
+	c.pend = c.pend[:0]
+	c.pendBytes = 0
+	c.vec = base[:0]
+	t.cVecWrites.Inc()
+	t.cVecFrames.Add(int64(frames))
+	return err
+}
+
+// sendLegacy is the pre-writev framing: eager frames copy into the
+// connection's bufio.Writer, rendezvous payloads stream directly after a
+// header flush. Kept as the selectable A/B baseline (TCPOptions
+// .LegacyFraming) the transport bench compares writev against.
+func (t *tcpTransport) sendLegacy(c *tcpConn, m Message) error {
+	c.waiters.Add(1)
+	c.mu.Lock()
+	// The persistent header scratch (guarded by mu, like the vectored
+	// path) keeps the header off the heap — a stack array escapes through
+	// bufio's underlying-writer interface and costs an allocation per send.
+	putFrameHeader(c.rhdr[:], m)
+	_, err := c.w.Write(c.rhdr[:])
 	if len(m.Data) >= eagerThreshold {
 		// Rendezvous: push the header (and any batched eager frames) out,
 		// then stream the payload straight from the caller's buffer. The
@@ -215,21 +367,14 @@ func (t *tcpTransport) send(to int, m Message) error {
 		if err == nil && len(m.Data) > 0 {
 			_, err = c.w.Write(m.Data)
 		}
-		// Last writer out flushes. A sender that leaves others queued on
-		// c.mu skips the flush: one of them will carry this frame out, or
-		// fail and drop the connection for everyone. Sequential sends always
-		// see waiters==0 and flush immediately, preserving per-message
-		// latency and error reporting.
+		// Last writer out flushes. Sequential sends always see waiters==0
+		// and flush immediately, preserving per-message latency and error
+		// reporting.
 		if last := c.waiters.Add(-1) == 0; err == nil && last {
 			err = c.w.Flush()
 		}
 	}
 	c.mu.Unlock()
-	if err != nil {
-		// The frame may be half-written; the connection cannot carry
-		// another message. Forget it so a retry redials.
-		t.dropConn(m.Source, to, c)
-	}
 	return err
 }
 
